@@ -1,0 +1,52 @@
+// Ablation 5: boot-protocol sweep over one fixed VMM body. Isolates the
+// firmware/kernel-load choices of Section 2.1 from everything else.
+#include "bench_util.h"
+#include "hostk/host_kernel.h"
+#include "vmm/vm.h"
+
+int main() {
+  benchutil::print_header(
+      "Ablation - boot protocol x kernel image, one VMM body",
+      "Same minimal VMM (Firecracker-like init costs, 7 devices), varying\n"
+      "only the boot protocol and the kernel image format. Shows why\n"
+      "'direct 64-bit boot' does not imply fast end-to-end boot when the\n"
+      "image is an uncompressed vmlinux (Conclusion 5).");
+  hostk::HostKernel kernel;
+  sim::Rng rng(77);
+
+  struct Variant {
+    const char* label;
+    vmm::BootProtocol protocol;
+    vmm::GuestKernel image;
+  };
+  const Variant variants[] = {
+      {"bios + bzImage", vmm::BootProtocol::kBios,
+       vmm::GuestKernelCatalog::ubuntu_generic()},
+      {"qboot + bzImage", vmm::BootProtocol::kQboot,
+       vmm::GuestKernelCatalog::ubuntu_generic()},
+      {"direct64 + bzImage", vmm::BootProtocol::kLinux64Direct,
+       vmm::GuestKernelCatalog::ubuntu_generic()},
+      {"direct64 + vmlinux", vmm::BootProtocol::kLinux64Direct,
+       vmm::GuestKernelCatalog::uncompressed_vmlinux()},
+      {"microvm + bzImage", vmm::BootProtocol::kMicroVm,
+       vmm::GuestKernelCatalog::ubuntu_generic()},
+      {"direct64 + osv", vmm::BootProtocol::kLinux64Direct,
+       vmm::GuestKernelCatalog::osv_kernel()},
+  };
+
+  std::vector<core::Bar> bars;
+  for (const auto& v : variants) {
+    vmm::VmmSpec spec = vmm::VmmCatalog::firecracker();
+    spec.name = v.label;
+    spec.protocol = v.protocol;
+    spec.kernel = v.image;
+    vmm::Vm vm(spec, kernel);
+    stats::Summary ms;
+    for (int i = 0; i < 100; ++i) {
+      ms.add(sim::to_millis(vm.boot_timeline().run(rng).total));
+    }
+    bars.push_back({v.label, ms.mean(), ms.stddev(), false, ""});
+  }
+  benchutil::print_bars(bars, "ms", 1);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation 4: KSM / NVDIMM-style direct mapping for the Kata memory path.
+// Finding 3's mechanism: Kata avoids the hypervisor memory penalty via
+// direct host<->guest mappings; this sweep turns the pieces on and off.
+#include "bench_util.h"
+#include "mem/hierarchy.h"
+#include "sim/rng.h"
+#include "vmm/vm_memory.h"
+
+int main() {
+  benchutil::print_header(
+      "Ablation - Kata memory path: nested paging x direct mapping",
+      "Random-access extra latency (ns) at a 64 MiB buffer under different\n"
+      "guest-memory configurations. The NVDIMM direct map is what keeps\n"
+      "Kata near-native in Figures 6-8 despite running QEMU.");
+  mem::MemoryHierarchy hierarchy;
+  sim::Rng rng(99);
+
+  struct Config {
+    const char* label;
+    mem::MemoryProfile profile;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"native (no EPT)", {}});
+  {
+    mem::MemoryProfile p;
+    p.ept = true;
+    configs.push_back({"EPT, plain mmap (qemu)", p});
+  }
+  configs.push_back({"EPT + vm-memory crate (firecracker)",
+                     vmm::MemoryBackingCatalog::vm_memory_crate_firecracker()
+                         .profile});
+  configs.push_back({"EPT + NVDIMM direct map (kata)",
+                     vmm::MemoryBackingCatalog::kata_nvdimm_direct().profile});
+
+  std::vector<core::Bar> bars;
+  for (const auto& c : configs) {
+    stats::Summary ns;
+    for (int i = 0; i < 200; ++i) {
+      ns.add(hierarchy.random_access_extra_ns(64ull << 20, c.profile,
+                                              /*hugepages=*/false, rng));
+    }
+    bars.push_back({c.label, ns.mean(), ns.stddev(), false, ""});
+  }
+  benchutil::print_bars(bars, "ns", 1);
+
+  std::printf(
+      "The direct map shortens nested walks (hot, DAX-backed mappings);\n"
+      "the vm-memory crate adds per-access cost AND run-to-run variance.\n"
+      "Trade-off per the paper: direct sharing weakens the isolation\n"
+      "boundary (see the multitenant_density example for the KSM side).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation 7: YCSB workload mix sensitivity for Memcached. The paper uses
+// workload A (50/50); this sweep shows how the platform ranking holds
+// across read-heavier mixes (B: 95/5, C: read-only) — network cost per
+// operation, not the read/write ratio, is what separates the platforms.
+#include "apps/memcached_bench.h"
+#include "bench_util.h"
+#include "core/host_system.h"
+#include "platforms/factory.h"
+
+int main() {
+  benchutil::print_header(
+      "Ablation - YCSB workload mix (A 50/50, B 95/5, C read-only)",
+      "Memcached kops/s per platform and mix. Rankings should be stable:\n"
+      "the datapath dominates, not the op type.");
+  core::HostSystem host;
+  auto lineup = platforms::PlatformFactory::paper_lineup(host);
+
+  struct Mix {
+    const char* label;
+    apps::YcsbSpec spec;
+  };
+  const Mix mixes[] = {
+      {"A(50/50)", apps::YcsbWorkload::workload_a()},
+      {"B(95/5)", apps::YcsbWorkload::workload_b()},
+      {"C(100/0)", apps::YcsbWorkload::workload_c()},
+  };
+
+  stats::Table table({"platform", "A(50/50) kops/s", "B(95/5) kops/s",
+                      "C(100/0) kops/s"});
+  for (auto& p : lineup) {
+    std::vector<std::string> row = {p->name()};
+    sim::Rng rng = host.rng().fork();
+    for (const auto& mix : mixes) {
+      apps::MemcachedSpec spec;
+      spec.workload = mix.spec;
+      spec.workload.record_count = 20'000;
+      spec.sampled_ops = 1'500;
+      sim::Clock clock;
+      const auto result = apps::MemcachedBench(spec).run(*p, clock, rng);
+      row.push_back(stats::Table::num(result.ops_per_second / 1e3, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 5: ffmpeg H.264->H.265 re-encode, 16 threads, per-platform time.
+// Plus Finding 1's companion table: sysbench CPU prime events/s (parity).
+#include <cmath>
+
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 5 - ffmpeg video re-encode (CPU bound)",
+      "Re-encoding a 1080p 30MB video from H.264 to H.265, preset `slower`,\n"
+      "16 threads. Time in ms per platform; mean +- stddev over 10 runs.\n"
+      "Expected shape: ~65000 ms everywhere, OSv a severe outlier "
+      "(custom scheduler).");
+  benchutil::print_bars(core::figure5_ffmpeg(), "ms", 0, "fig05_ffmpeg");
+
+  benchutil::print_header(
+      "Finding 1 - sysbench CPU prime verification",
+      "Single-threaded prime check. Expected: near-identical events/s on\n"
+      "every platform (basic CPU work is never virtualization-bound).");
+  benchutil::print_bars(core::finding1_sysbench_cpu(), "events/s", 0, "finding1_sysbench_cpu");
+  return 0;
+}

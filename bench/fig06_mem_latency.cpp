@@ -1,0 +1,25 @@
+// Figure 6: tinymembench random-access latency vs buffer size (2^16..2^26).
+#include <cmath>
+
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 6 - tinymembench memory access latency",
+      "Average extra time (ns, over L1 latency) for accessing a random\n"
+      "element in buffers of 2^16..2^26 bytes. Expected shape: latency grows\n"
+      "with buffer size; Firecracker worst (mean AND variance), Cloud\n"
+      "Hypervisor elevated, Kata ~native (NVDIMM), OSv/QEMU ~native.");
+  benchutil::print_curves(core::figure6_memory_latency(), "buffer_bytes",
+                          "extra_ns", /*x_as_log2=*/true,
+                          "fig06_mem_latency");
+
+  benchutil::print_header(
+      "Figure 6 (companion) - HugePages relief",
+      "Same sweep with 2 MiB pages on supporting platforms: the paper\n"
+      "reports ~30% lower latency in the larger buffers.");
+  benchutil::print_curves(core::figure6_memory_latency(10, core::kFigureSeed,
+                                                       /*hugepages=*/true),
+                          "buffer bytes", "extra ns", true);
+  return 0;
+}

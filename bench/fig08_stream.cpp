@@ -1,0 +1,13 @@
+// Figure 8: STREAM COPY sustained memory bandwidth.
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 8 - STREAM COPY throughput",
+      "a[i] = b[i] over a 2.2 GiB allocation, 16 bytes per iteration, no\n"
+      "floating point. Average of per-run maxima over 10 runs (MB/s).\n"
+      "Expected shape: hypervisors (esp. Firecracker) below native;\n"
+      "containers, Kata and OSv/QEMU on par.");
+  benchutil::print_bars(core::figure8_stream(), "MB/s", 0, "fig08_stream");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 9: fio 128 KiB sequential read/write throughput, libaio, direct.
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 9 - fio block I/O throughput",
+      "128 KiB blocks, libaio, O_DIRECT, dedicated test disk, host cache\n"
+      "dropped between runs. Firecracker (no extra disk) and OSv (no\n"
+      "libaio) are excluded, as in the paper. Expected shape: Docker/LXC/\n"
+      "QEMU ~native; Cloud Hypervisor markedly worse; gVisor and Kata at\n"
+      "half of native or less (9p).");
+  stats::Table table({"platform", "read (MB/s)", "std", "write (MB/s)", "std",
+                      "note"});
+  const auto io_bars = core::figure9_fio_throughput();
+  std::vector<core::Bar> reads, writes;
+  for (const auto& bar : io_bars) {
+    reads.push_back(bar.read);
+    writes.push_back(bar.write);
+  }
+  benchutil::note_export(core::export_bars("fig09_fio_read", reads, "MB/s"));
+  benchutil::note_export(core::export_bars("fig09_fio_write", writes, "MB/s"));
+  for (const auto& bar : io_bars) {
+    if (bar.read.excluded) {
+      table.add_row({bar.platform, "-", "-", "-", "-",
+                     "excluded: " + bar.read.exclusion_reason});
+    } else {
+      table.add_row({bar.platform, stats::Table::num(bar.read.mean, 0),
+                     stats::Table::num(bar.read.stddev, 0),
+                     stats::Table::num(bar.write.mean, 0),
+                     stats::Table::num(bar.write.stddev, 0), ""});
+    }
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 10: fio randread latency for 4 KiB blocks (libaio).
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 10 - fio 4 KiB random-read latency",
+      "Mean completion latency (us). gVisor is excluded: its reads are\n"
+      "served from the host page cache even with caches dropped (the\n"
+      "O_DIRECT flag does not survive the Gofer). Expected shape:\n"
+      "containers ~native; hypervisors elevated; Cloud Hypervisor\n"
+      "remarkably good; Kata exceptionally poor (9p).");
+  benchutil::print_bars(core::figure10_fio_randread(), "us", 1,
+                        "fig10_fio_randread");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 11: iperf3 network throughput (max over 5 runs).
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 11 - iperf3 network throughput",
+      "Maximum achievable throughput (Gbit/s) over 5 runs, host as client,\n"
+      "server in the guest. Expected shape: native 37.28, OSv 36.36,\n"
+      "bridges ~-9.5%, TAP+virtio hypervisors ~-25% (CH < QEMU), Kata =\n"
+      "its weakest link (QEMU), gVisor an extreme outlier (Netstack).");
+  benchutil::print_bars(core::figure11_iperf3(), "Gbit/s", 2, "fig11_iperf3");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 12: netperf TCP_RR 90th-percentile latency over 5 runs.
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 12 - netperf p90 round-trip latency",
+      "90th percentile of TCP_RR round trips (us). Expected shape: bridge\n"
+      "platforms (Docker, Kata, LXC) best, then the hypervisors, OSv\n"
+      "slightly below the hypervisors, gVisor 3-4x its competitors.");
+  benchutil::print_bars(core::figure12_netperf(), "us_p90", 1, "fig12_netperf");
+  return 0;
+}

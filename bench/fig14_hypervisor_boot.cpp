@@ -1,0 +1,14 @@
+// Figure 14: hypervisor boot-time CDFs (replication of Agache et al.'s
+// experiment with end-to-end measurement), 300 startups per platform.
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 14 - hypervisor boot time (CDF)",
+      "Same kernel + rootfs, patched init exits immediately, 300 startups.\n"
+      "Expected shape: Cloud Hypervisor fastest, then QEMU (plain and\n"
+      "qboot), Firecracker ~350 ms (NOT the fastest, contrary to its\n"
+      "paper), QEMU-microvm unexpectedly slowest.");
+  benchutil::print_cdfs(core::figure14_hypervisor_boot(), "fig14_hypervisor_boot");
+  return 0;
+}

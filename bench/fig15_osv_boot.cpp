@@ -1,0 +1,13 @@
+// Figure 15: OSv boot-time CDFs under its supported hypervisors, measured
+// both end-to-end and by stdout banner (the two must superimpose).
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 15 - OSv boot time under different hypervisors (CDF)",
+      "300 startups. Expected shape: the ordering INVERTS relative to\n"
+      "Figure 14 - Firecracker fastest, QEMU-microvm second, plain QEMU\n"
+      "last; (e2e) and (stdout) series nearly superimposed (Finding 16).");
+  benchutil::print_cdfs(core::figure15_osv_boot(), "fig15_osv_boot");
+  return 0;
+}

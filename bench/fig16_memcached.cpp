@@ -1,0 +1,13 @@
+// Figure 16: Memcached under YCSB workload A.
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 16 - Memcached YCSB (workload A) throughput",
+      "50/50 read/update mix, zipfian keys, 32 client threads (kops/s over\n"
+      "5 runs). Expected shape: containers (esp. LXC) on top, hypervisors\n"
+      "lower with newer ones worse, Kata surprisingly low, gVisor poor\n"
+      "(network stack).");
+  benchutil::print_bars(core::figure16_memcached(), "kops/s", 1, "fig16_memcached");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 17: MySQL sysbench oltp_read_write, tps vs client threads.
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 17 - MySQL sysbench oltp_read_write",
+      "Transactions/s vs client threads (10..160), 3 runs. Expected shape:\n"
+      "platforms peak ~50 threads, native ~110 (without a significant\n"
+      "margin); three groups - {OSv, OSv-FC, gVisor} severely low & flat,\n"
+      "{Firecracker, Kata} ~half, the rest alike with wide error bands.");
+  benchutil::print_curves(core::figure17_mysql_oltp(), "threads", "tps",
+                          false, "fig17_mysql_oltp");
+  return 0;
+}

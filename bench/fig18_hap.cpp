@@ -1,0 +1,25 @@
+// Figure 18: the extended (EPSS-weighted) Horizontal Attack Profile.
+#include "bench_util.h"
+
+int main() {
+  benchutil::print_header(
+      "Figure 18 - extended HAP metric",
+      "Host kernel functions traced (ftrace) while running sysbench\n"
+      "cpu/memory/io, iperf3, and a start/stop cycle; breadth weighted by\n"
+      "per-function EPSS exploitability. Expected shape: Firecracker\n"
+      "highest; Kata and gVisor high (defense-in-depth is NOT visible to\n"
+      "HAP); QEMU above the containers; Cloud Hypervisor very low; OSv\n"
+      "lowest.");
+  stats::Table table({"platform", "distinct fns", "invocations",
+                      "HAP (breadth)", "extended HAP (EPSS)"});
+  const auto scores = core::figure18_hap();
+  benchutil::note_export(core::export_hap("fig18_hap", scores));
+  for (const auto& s : scores) {
+    table.add_row({s.platform, std::to_string(s.distinct_functions),
+                   std::to_string(s.total_invocations),
+                   stats::Table::num(s.hap_breadth, 0),
+                   stats::Table::num(s.extended_hap, 2)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  return 0;
+}

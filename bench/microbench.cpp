@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks of the framework's own primitives:
+// RNG, statistics, ftrace recording, syscall dispatch, page cache, B+tree
+// and KV-store operations. These guard the simulator's performance (the
+// figure harnesses run hundreds of thousands of modeled operations).
+#include <benchmark/benchmark.h>
+
+#include "apps/btree.h"
+#include "apps/kv_store.h"
+#include "apps/ycsb.h"
+#include "hostk/host_kernel.h"
+#include "hostk/page_cache.h"
+#include "sim/rng.h"
+#include "stats/sample_set.h"
+#include "stats/summary.h"
+
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngNormal(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  sim::Rng rng(1);
+  sim::ZipfianGenerator zipf(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext)->Arg(1'000)->Arg(100'000);
+
+void BM_SummaryAdd(benchmark::State& state) {
+  stats::Summary summary;
+  double x = 0.0;
+  for (auto _ : state) {
+    summary.add(x += 1.0);
+  }
+  benchmark::DoNotOptimize(summary.mean());
+}
+BENCHMARK(BM_SummaryAdd);
+
+void BM_SampleSetPercentile(benchmark::State& state) {
+  sim::Rng rng(3);
+  stats::SampleSet samples;
+  for (int i = 0; i < state.range(0); ++i) {
+    samples.add(rng.next_double());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(samples.percentile(90));
+  }
+}
+BENCHMARK(BM_SampleSetPercentile)->Arg(300)->Arg(10'000);
+
+void BM_SyscallDispatch(benchmark::State& state) {
+  hostk::HostKernel kernel;
+  sim::Rng rng(5);
+  const bool traced = state.range(0) != 0;
+  if (traced) {
+    kernel.ftrace().start();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.invoke(hostk::Syscall::kRead, rng));
+  }
+}
+BENCHMARK(BM_SyscallDispatch)->Arg(0)->Arg(1);
+
+void BM_PageCacheAccess(benchmark::State& state) {
+  hostk::PageCache cache(64ull << 20);
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    const auto page = rng.next_u64() % 32'768;
+    benchmark::DoNotOptimize(cache.access_range(1, page * 4096, 4096));
+  }
+}
+BENCHMARK(BM_PageCacheAccess);
+
+void BM_BtreeInsert(benchmark::State& state) {
+  apps::BPlusTree tree;
+  std::int64_t key = 0;
+  for (auto _ : state) {
+    tree.insert(key++, "value");
+  }
+  benchmark::DoNotOptimize(tree.size());
+}
+BENCHMARK(BM_BtreeInsert);
+
+void BM_BtreeFind(benchmark::State& state) {
+  apps::BPlusTree tree;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    tree.insert(i, "value");
+  }
+  sim::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.find(rng.uniform_int(0, state.range(0) - 1)));
+  }
+}
+BENCHMARK(BM_BtreeFind)->Arg(10'000)->Arg(100'000);
+
+void BM_KvStoreGet(benchmark::State& state) {
+  apps::KvStore store(64ull << 20);
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    store.set(apps::YcsbWorkload::key_for(i), "0123456789abcdef");
+  }
+  sim::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.get(apps::YcsbWorkload::key_for(
+        static_cast<std::uint64_t>(rng.uniform_int(0, 49'999)))));
+  }
+}
+BENCHMARK(BM_KvStoreGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Quickstart: boot a platform, run a workload, read the results.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+//
+// Demonstrates the core public API: HostSystem -> PlatformFactory ->
+// Platform::boot -> workloads.
+#include <cstdio>
+
+#include "core/host_system.h"
+#include "platforms/factory.h"
+#include "workloads/netbench.h"
+#include "workloads/sysbench_cpu.h"
+
+int main() {
+  // 1. Model the physical host (defaults: the paper's dual-EPYC2 testbed).
+  core::HostSystem host;
+  sim::Rng rng = host.rng().fork();
+
+  // 2. Build a platform. Any of the ten paper configurations works here.
+  auto docker = platforms::PlatformFactory::create(
+      platforms::PlatformId::kDocker, host);
+
+  // 3. Boot it and inspect the startup timeline.
+  sim::Clock clock;
+  const core::BootResult boot = docker->boot(clock, rng);
+  std::printf("%s booted in %s; slowest stages:\n", docker->name().c_str(),
+              sim::format_duration(boot.total).c_str());
+  for (const auto& stage : boot.stages) {
+    if (stage.duration > sim::millis(5)) {
+      std::printf("  %-28s %s\n", stage.name.c_str(),
+                  sim::format_duration(stage.duration).c_str());
+    }
+  }
+
+  // 4. Run workloads against it.
+  const workloads::SysbenchCpu cpu_bench;
+  const auto cpu = cpu_bench.run(*docker, clock, rng);
+  std::printf("\nsysbench cpu: %llu primes <= 20000, %.0f events/s\n",
+              static_cast<unsigned long long>(cpu.primes_found),
+              cpu.events_per_second);
+
+  const workloads::Iperf3 iperf;
+  const auto net = iperf.run(*docker, clock, rng);
+  std::printf("iperf3: %.2f Gbit/s max over 5 runs\n", net.max_gbps);
+
+  // 5. Compare against another platform in three lines.
+  auto gvisor = platforms::PlatformFactory::create(
+      platforms::PlatformId::kGvisor, host);
+  const auto gvisor_net = iperf.run(*gvisor, clock, rng);
+  std::printf("gvisor iperf3: %.2f Gbit/s (Netstack penalty: %.0f%%)\n",
+              gvisor_net.max_gbps,
+              100.0 * (1.0 - gvisor_net.max_gbps / net.max_gbps));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Serverless cold-start planner.
+//
+// The paper motivates startup time with serverless computing (Section
+// 3.5): regions of isolation are spawned and de-spawned per request.
+// This example sizes a FaaS fleet: given a target p99 cold-start budget,
+// which isolation platforms qualify, and what does each platform's boot
+// time decompose into?
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/host_system.h"
+#include "platforms/factory.h"
+#include "stats/sample_set.h"
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  stats::SampleSet boots_ms;
+  std::map<std::string, double> stage_means_ms;
+};
+
+}  // namespace
+
+int main() {
+  constexpr double kColdStartBudgetMs = 250.0;  // p99 budget
+  constexpr int kTrials = 300;
+
+  core::HostSystem host;
+  sim::Rng rng = host.rng().fork();
+
+  std::vector<Candidate> candidates;
+  for (const auto id :
+       {platforms::PlatformId::kDocker, platforms::PlatformId::kGvisor,
+        platforms::PlatformId::kKataContainers,
+        platforms::PlatformId::kFirecracker,
+        platforms::PlatformId::kCloudHypervisor,
+        platforms::PlatformId::kOsvFirecracker}) {
+    auto platform = platforms::PlatformFactory::create(id, host);
+    Candidate c;
+    c.name = platform->name();
+    std::map<std::string, stats::Summary> stages;
+    for (int i = 0; i < kTrials; ++i) {
+      const auto boot = platform->boot_timeline().run(rng);
+      c.boots_ms.add(sim::to_millis(boot.total));
+      for (const auto& s : boot.stages) {
+        stages[s.name].add(sim::to_millis(s.duration));
+      }
+    }
+    for (const auto& [name, summary] : stages) {
+      c.stage_means_ms[name] = summary.mean();
+    }
+    candidates.push_back(std::move(c));
+  }
+
+  std::printf("Cold-start budget: p99 <= %.0f ms (%d startups each)\n\n",
+              kColdStartBudgetMs, kTrials);
+  std::printf("%-18s %9s %9s %9s  %s\n", "platform", "p50(ms)", "p99(ms)",
+              "verdict", "dominant boot stage");
+  for (const auto& c : candidates) {
+    const double p99 = c.boots_ms.percentile(99);
+    const auto dominant = std::max_element(
+        c.stage_means_ms.begin(), c.stage_means_ms.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::printf("%-18s %9.1f %9.1f %9s  %s (%.0f ms)\n", c.name.c_str(),
+                c.boots_ms.percentile(50), p99,
+                p99 <= kColdStartBudgetMs ? "OK" : "too slow",
+                dominant->first.c_str(), dominant->second);
+  }
+
+  std::printf(
+      "\nNote how Firecracker misses the budget end-to-end despite its\n"
+      "minimal device model: loading the uncompressed kernel image\n"
+      "dominates (the paper's Conclusion 5). The OSv unikernel on the\n"
+      "same hypervisor fits comfortably.\n");
+  return 0;
+}

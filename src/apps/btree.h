@@ -1,0 +1,73 @@
+// A real B+tree — the storage engine under the MiniSQL OLTP benchmark.
+//
+// In-memory order-B tree with linked leaves (range scans), supporting
+// insert, point lookup, update, erase. Node traversal counts are exposed
+// so the OLTP model can charge per-level costs (cache misses per level).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace apps {
+
+/// Statistics of one operation, for cost accounting.
+struct BtreeOpStats {
+  std::uint32_t nodes_visited = 0;
+  bool splits = false;
+};
+
+class BPlusTree {
+ public:
+  using Key = std::int64_t;
+  using Value = std::string;
+
+  explicit BPlusTree(std::size_t order = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Insert or overwrite. Returns op stats (depth walked, splits).
+  BtreeOpStats insert(Key key, Value value);
+
+  /// Point lookup.
+  std::optional<Value> find(Key key, BtreeOpStats* stats = nullptr) const;
+
+  /// Remove a key (lazy deletion: underflow is tolerated, as in many
+  /// production engines' leaf-level tombstoning). Returns true if found.
+  bool erase(Key key, BtreeOpStats* stats = nullptr);
+
+  /// Ordered range scan [first, last]; invokes fn per row until it
+  /// returns false. Returns rows visited.
+  std::size_t scan(Key first, Key last,
+                   const std::function<bool(Key, const Value&)>& fn) const;
+
+  std::size_t size() const { return size_; }
+  std::uint32_t height() const { return height_; }
+
+  /// Validates the B+tree invariants (ordering, fill, leaf chain);
+  /// throws std::logic_error on violation. Used by property tests.
+  void check_invariants() const;
+
+ private:
+  struct Node;
+  struct InsertResult;
+
+  InsertResult insert_rec(Node* node, Key key, Value&& value,
+                          BtreeOpStats& stats);
+  const Node* find_leaf(Key key, BtreeOpStats* stats) const;
+  void check_node(const Node* node, Key* last_key, std::uint32_t depth,
+                  std::uint32_t leaf_depth) const;
+  void free_tree(Node* node);
+
+  std::size_t order_;
+  Node* root_;
+  std::size_t size_ = 0;
+  std::uint32_t height_ = 1;
+};
+
+}  // namespace apps

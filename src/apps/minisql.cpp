@@ -1,0 +1,151 @@
+#include "apps/minisql.h"
+
+namespace apps {
+
+Table::Table(std::string name) : name_(std::move(name)) {}
+
+std::string LockManager::key_of(const std::string& table, std::int64_t row) {
+  return table + ":" + std::to_string(row);
+}
+
+bool LockManager::lock(std::uint64_t txn, const std::string& table,
+                       std::int64_t row) {
+  const std::string key = key_of(table, row);
+  const auto it = owner_.find(key);
+  if (it != owner_.end()) {
+    if (it->second == txn) {
+      return true;  // re-entrant
+    }
+    ++conflicts_;
+    return false;
+  }
+  owner_[key] = txn;
+  by_txn_[txn].push_back(key);
+  return true;
+}
+
+void LockManager::release_all(std::uint64_t txn) {
+  const auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) {
+    return;
+  }
+  for (const auto& key : it->second) {
+    owner_.erase(key);
+  }
+  by_txn_.erase(it);
+}
+
+MiniSql::MiniSql(std::uint64_t rows_per_table)
+    : rows_per_table_(rows_per_table), next_insert_id_(rows_per_table + 1) {
+  for (int i = 0; i < kTables; ++i) {
+    tables_.push_back(std::make_unique<Table>("sbtest" + std::to_string(i + 1)));
+  }
+}
+
+Row MiniSql::make_row(std::uint64_t id, sim::Rng& rng) const {
+  Row row;
+  row.k = static_cast<std::int64_t>(id % rows_per_table_);
+  row.c = std::string(24, static_cast<char>('a' + (id + rng.next_u64() % 7) % 26));
+  row.pad = std::string(12, static_cast<char>('0' + id % 10));
+  return row;
+}
+
+std::string MiniSql::encode(const Row& row) {
+  return std::to_string(row.k) + "|" + row.c + "|" + row.pad;
+}
+
+void MiniSql::prepare(sim::Rng& rng) {
+  for (auto& table : tables_) {
+    for (std::uint64_t id = 1; id <= rows_per_table_; ++id) {
+      table->tree().insert(static_cast<std::int64_t>(id),
+                           encode(make_row(id, rng)));
+    }
+  }
+}
+
+TxnFootprint MiniSql::run_transaction(std::uint64_t txn_id, sim::Rng& rng,
+                                      bool* aborted, bool hold_locks) {
+  TxnFootprint fp;
+  if (aborted) {
+    *aborted = false;
+  }
+  auto random_id = [&]() {
+    return rng.uniform_int(1, static_cast<std::int64_t>(rows_per_table_));
+  };
+  auto& t1 = *tables_[static_cast<std::size_t>(
+      rng.uniform_int(0, kTables - 1))];
+
+  // 10 point SELECTs (sysbench default).
+  for (int i = 0; i < 10; ++i) {
+    BtreeOpStats stats;
+    (void)t1.tree().find(random_id(), &stats);
+    fp.btree_nodes += stats.nodes_visited;
+    ++fp.rows_touched;
+  }
+  // Small range scan.
+  const std::int64_t base = random_id();
+  fp.rows_touched += static_cast<std::uint32_t>(t1.tree().scan(
+      base, base + 99, [](BPlusTree::Key, const std::string&) { return true; }));
+
+  // UPDATE one row.
+  const std::int64_t upd_id = random_id();
+  if (!locks_.lock(txn_id, t1.name(), upd_id)) {
+    if (aborted) {
+      *aborted = true;
+    }
+    locks_.release_all(txn_id);
+    return fp;
+  }
+  ++fp.lock_acquisitions;
+  {
+    BtreeOpStats stats;
+    auto row = t1.tree().find(upd_id, &stats);
+    fp.btree_nodes += stats.nodes_visited;
+    if (row) {
+      auto ins = t1.tree().insert(upd_id, *row + "+");
+      fp.btree_nodes += ins.nodes_visited;
+      ++fp.rows_touched;
+      ++fp.wal_appends;
+      wal_bytes_ += row->size() + 32;
+    }
+  }
+
+  // DELETE one row, then INSERT a fresh one (sysbench keeps cardinality).
+  const std::int64_t del_id = random_id();
+  if (!locks_.lock(txn_id, t1.name(), del_id)) {
+    if (aborted) {
+      *aborted = true;
+    }
+    locks_.release_all(txn_id);
+    return fp;
+  }
+  ++fp.lock_acquisitions;
+  {
+    BtreeOpStats stats;
+    if (t1.tree().erase(del_id, &stats)) {
+      ++fp.rows_touched;
+      ++fp.wal_appends;
+      wal_bytes_ += 24;
+    }
+    fp.btree_nodes += stats.nodes_visited;
+    const std::int64_t new_id =
+        static_cast<std::int64_t>(next_insert_id_++);
+    auto ins = t1.tree().insert(new_id, encode(make_row(
+                                            static_cast<std::uint64_t>(new_id),
+                                            rng)));
+    fp.btree_nodes += ins.nodes_visited;
+    ++fp.rows_touched;
+    ++fp.wal_appends;
+    wal_bytes_ += 64;
+  }
+
+  // Buffer-pool misses: the working set exceeds the pool; a fraction of
+  // row touches go to storage.
+  fp.page_reads = 1 + static_cast<std::uint32_t>(fp.rows_touched / 8);
+  if (!hold_locks) {
+    locks_.release_all(txn_id);
+  }
+  return fp;
+}
+
+}  // namespace apps

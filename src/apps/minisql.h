@@ -1,0 +1,111 @@
+// MiniSQL: a small relational storage engine (tables on B+trees, row
+// locks, write-ahead log) — the MySQL stand-in for the paper's sysbench
+// oltp_read_write experiment (Section 3.7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/btree.h"
+#include "sim/rng.h"
+
+namespace apps {
+
+/// Row payload compatible with sysbench's sbtest schema (id, k, c, pad).
+struct Row {
+  std::int64_t k;
+  std::string c;    // 120-char filler in sysbench
+  std::string pad;  // 60-char filler
+};
+
+/// Aggregate cost drivers of a transaction, for the OLTP latency model.
+struct TxnFootprint {
+  std::uint32_t btree_nodes = 0;   // index levels touched
+  std::uint32_t rows_touched = 0;
+  std::uint32_t lock_acquisitions = 0;
+  std::uint32_t wal_appends = 0;
+  std::uint32_t page_reads = 0;    // buffer-pool misses needing I/O
+};
+
+/// One table: a primary B+tree keyed by row id.
+class Table {
+ public:
+  explicit Table(std::string name);
+
+  const std::string& name() const { return name_; }
+  std::size_t rows() const { return tree_.size(); }
+  BPlusTree& tree() { return tree_; }
+
+ private:
+  std::string name_;
+  BPlusTree tree_;
+};
+
+/// Very small row-lock manager (2PL, txn-scoped).
+class LockManager {
+ public:
+  /// Try to lock (table, row) for a transaction. Returns false on
+  /// conflict with another holder.
+  bool lock(std::uint64_t txn, const std::string& table, std::int64_t row);
+
+  /// Release all locks of a transaction.
+  void release_all(std::uint64_t txn);
+
+  std::size_t held() const { return owner_.size(); }
+  std::uint64_t conflicts() const { return conflicts_; }
+
+ private:
+  static std::string key_of(const std::string& table, std::int64_t row);
+
+  std::unordered_map<std::string, std::uint64_t> owner_;
+  std::unordered_map<std::uint64_t, std::vector<std::string>> by_txn_;
+  std::uint64_t conflicts_ = 0;
+};
+
+/// The engine: 3 sbtest tables, a lock manager and WAL accounting.
+class MiniSql {
+ public:
+  static constexpr int kTables = 3;
+
+  explicit MiniSql(std::uint64_t rows_per_table = 100'000);
+
+  /// Populate all tables (sysbench's prepare phase). Deterministic rows.
+  void prepare(sim::Rng& rng);
+
+  /// Execute one oltp_read_write transaction: point SELECTs, one UPDATE,
+  /// one DELETE and one INSERT (the paper's definition of a transaction),
+  /// against real B+trees, under row locks. Returns its footprint;
+  /// `aborted` is set when a lock conflict forces a retry.
+  ///
+  /// With `hold_locks` the transaction's row locks stay held after it
+  /// returns (strict 2PL with the commit deferred); the caller models
+  /// concurrent clients by releasing a window of transactions later via
+  /// `commit()`. Aborted transactions always release immediately.
+  TxnFootprint run_transaction(std::uint64_t txn_id, sim::Rng& rng,
+                               bool* aborted = nullptr,
+                               bool hold_locks = false);
+
+  /// Release the locks of a previously held transaction.
+  void commit(std::uint64_t txn_id) { locks_.release_all(txn_id); }
+
+  std::uint64_t rows_per_table() const { return rows_per_table_; }
+  Table& table(int i) { return *tables_[static_cast<std::size_t>(i)]; }
+  LockManager& locks() { return locks_; }
+  std::uint64_t wal_bytes() const { return wal_bytes_; }
+
+ private:
+  Row make_row(std::uint64_t id, sim::Rng& rng) const;
+  static std::string encode(const Row& row);
+
+  std::uint64_t rows_per_table_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  LockManager locks_;
+  std::uint64_t next_insert_id_;
+  std::uint64_t wal_bytes_ = 0;
+};
+
+}  // namespace apps

@@ -1,0 +1,58 @@
+// Control groups — resource constraint mechanism for containers.
+//
+// runc and LXC both constrain containers through cgroups; LXC already
+// supports the newer unified (v2) hierarchy for unprivileged containers
+// (Section 2.2.2). The model captures setup cost, HAP-visible writes to
+// the cgroupfs, and simple limit bookkeeping used by the examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/boot.h"
+#include "hostk/host_kernel.h"
+
+namespace container {
+
+enum class CgroupVersion { kV1, kV2 };
+
+/// Resource limits a runtime writes into the cgroup.
+struct CgroupLimits {
+  std::optional<double> cpu_shares;           // relative weight
+  std::optional<std::uint64_t> memory_max;    // bytes
+  std::optional<std::uint32_t> pids_max;      // task count
+  std::optional<double> io_weight;            // blkio weight
+};
+
+/// One container's cgroup (a node in the hierarchy).
+class Cgroup {
+ public:
+  Cgroup(std::string path, CgroupVersion version, CgroupLimits limits);
+
+  const std::string& path() const { return path_; }
+  CgroupVersion version() const { return version_; }
+  const CgroupLimits& limits() const { return limits_; }
+
+  /// Number of controller files the runtime writes at setup.
+  std::size_t controller_writes() const;
+
+  /// Setup stages: mkdir + one write per configured controller.
+  core::BootTimeline setup_timeline() const;
+
+  /// HAP-visible setup syscalls.
+  void record_setup(hostk::HostKernel& host, sim::Rng& rng) const;
+
+  /// Check a memory charge against the limit (examples use this for
+  /// density planning). Returns false when the charge would exceed it.
+  bool try_charge_memory(std::uint64_t bytes);
+  std::uint64_t memory_charged() const { return memory_charged_; }
+
+ private:
+  std::string path_;
+  CgroupVersion version_;
+  CgroupLimits limits_;
+  std::uint64_t memory_charged_ = 0;
+};
+
+}  // namespace container

@@ -1,0 +1,54 @@
+// Linux namespaces — the core container isolation mechanism (Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/boot.h"
+#include "hostk/host_kernel.h"
+
+namespace container {
+
+enum class NamespaceKind {
+  kPid,
+  kNet,
+  kMnt,
+  kUts,
+  kIpc,
+  kUser,
+  kCgroup,
+};
+
+std::string_view namespace_name(NamespaceKind k);
+
+/// The set of namespaces a runtime unshares for a container.
+class NamespaceSet {
+ public:
+  NamespaceSet() = default;
+  NamespaceSet(std::initializer_list<NamespaceKind> kinds);
+
+  /// The full set runc/LXC use by default (all but user for rootful runs).
+  static NamespaceSet runc_default();
+  /// LXC unprivileged containers add the user namespace (cgroups v2).
+  static NamespaceSet lxc_unprivileged();
+  /// gVisor's Sentry confines itself in namespaces as defense in depth.
+  static NamespaceSet sentry_confinement();
+
+  bool contains(NamespaceKind k) const;
+  std::size_t size() const { return kinds_.size(); }
+  const std::vector<NamespaceKind>& kinds() const { return kinds_; }
+
+  /// Setup cost stages (one unshare + per-namespace wiring).
+  core::BootTimeline setup_timeline() const;
+
+  /// Issue the host syscalls that creating these namespaces requires
+  /// (unshare, mounts for mntns, /proc wiring) — HAP-visible.
+  void record_setup(hostk::HostKernel& host, sim::Rng& rng) const;
+
+ private:
+  std::vector<NamespaceKind> kinds_;
+};
+
+}  // namespace container

@@ -1,0 +1,45 @@
+// CPU execution profile of a platform.
+//
+// Finding 1: basic CPU work is free everywhere; differences appear only in
+// complex workloads — platforms with *custom thread schedulers* (OSv, and
+// gVisor's user-space threading) pay on multi-threaded jobs, and the more
+// experimental platforms add a small penalty on wide SIMD kernels.
+#pragma once
+
+#include <algorithm>
+
+namespace core {
+
+struct CpuProfile {
+  /// Multiplier on single-threaded scalar work time (1.0 everywhere —
+  /// hardware-assisted virtualization executes guest code natively).
+  double scalar_factor = 1.0;
+
+  /// Multiplier on time spent in complex SIMD kernels (video encoding).
+  double simd_factor = 1.0;
+
+  /// Scheduler inefficiency: parallel efficiency at n threads is
+  /// 1 / (1 + alpha * (n - 1)). Mature kernels have tiny alpha; custom
+  /// schedulers (OSv) a large one.
+  double sched_alpha = 0.004;
+
+  /// Cost multiplier on futex-class synchronization syscalls, relative to
+  /// native. Drives the MySQL thread-contention knee (Finding 20-22).
+  double futex_cost_factor = 1.0;
+
+  /// Parallel efficiency for n threads in [0, 1].
+  double parallel_efficiency(int threads) const {
+    if (threads <= 1) {
+      return 1.0;
+    }
+    return 1.0 / (1.0 + sched_alpha * static_cast<double>(threads - 1));
+  }
+
+  /// Effective speedup of n threads over one.
+  double speedup(int threads) const {
+    return static_cast<double>(std::max(threads, 1)) *
+           parallel_efficiency(threads);
+  }
+};
+
+}  // namespace core

@@ -1,0 +1,88 @@
+#include "core/export.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "stats/table.h"
+
+namespace core {
+
+std::optional<std::string> results_dir_from_env() {
+  const char* dir = std::getenv("ISOPLAT_RESULTS_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return std::nullopt;
+  }
+  return std::string(dir);
+}
+
+namespace {
+std::optional<std::string> write_csv(const std::string& figure_id,
+                                     const stats::Table& table) {
+  const auto dir = results_dir_from_env();
+  if (!dir) {
+    return std::nullopt;
+  }
+  const std::string path = *dir + "/" + figure_id + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    return std::nullopt;
+  }
+  out << table.to_csv();
+  return path;
+}
+}  // namespace
+
+std::optional<std::string> export_bars(const std::string& figure_id,
+                                       const std::vector<Bar>& bars,
+                                       const std::string& unit) {
+  stats::Table table({"platform", "mean_" + unit, "stddev", "excluded",
+                      "reason"});
+  for (const auto& b : bars) {
+    table.add_row({b.platform, stats::Table::num(b.mean, 6),
+                   stats::Table::num(b.stddev, 6), b.excluded ? "1" : "0",
+                   b.exclusion_reason});
+  }
+  return write_csv(figure_id, table);
+}
+
+std::optional<std::string> export_cdfs(const std::string& figure_id,
+                                       const std::vector<CdfSeries>& series) {
+  stats::Table table({"platform", "value_ms", "fraction"});
+  for (const auto& s : series) {
+    for (const auto& pt : s.samples_ms.cdf(100)) {
+      table.add_row({s.platform, stats::Table::num(pt.value, 4),
+                     stats::Table::num(pt.fraction, 5)});
+    }
+  }
+  return write_csv(figure_id, table);
+}
+
+std::optional<std::string> export_curves(const std::string& figure_id,
+                                         const std::vector<Curve>& curves,
+                                         const std::string& x_label,
+                                         const std::string& y_label) {
+  stats::Table table({"platform", x_label, y_label, "yerr"});
+  for (const auto& c : curves) {
+    for (std::size_t i = 0; i < c.x.size(); ++i) {
+      table.add_row({c.platform, stats::Table::num(c.x[i], 2),
+                     stats::Table::num(c.y[i], 4),
+                     stats::Table::num(i < c.yerr.size() ? c.yerr[i] : 0.0, 4)});
+    }
+  }
+  return write_csv(figure_id, table);
+}
+
+std::optional<std::string> export_hap(const std::string& figure_id,
+                                      const std::vector<hap::HapScore>& scores) {
+  stats::Table table({"platform", "distinct_functions", "total_invocations",
+                      "hap_breadth", "extended_hap"});
+  for (const auto& s : scores) {
+    table.add_row({s.platform, std::to_string(s.distinct_functions),
+                   std::to_string(s.total_invocations),
+                   stats::Table::num(s.hap_breadth, 1),
+                   stats::Table::num(s.extended_hap, 4)});
+  }
+  return write_csv(figure_id, table);
+}
+
+}  // namespace core

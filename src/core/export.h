@@ -1,0 +1,36 @@
+// CSV export of figure results.
+//
+// When the environment variable ISOPLAT_RESULTS_DIR is set, the bench
+// binaries also write their series as CSV files there (one per figure),
+// so plots can be regenerated with any external tool.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/figures.h"
+#include "hap/hap.h"
+
+namespace core {
+
+/// The export directory from ISOPLAT_RESULTS_DIR, if configured.
+std::optional<std::string> results_dir_from_env();
+
+/// Each writer returns the path written, or nullopt when export is off.
+std::optional<std::string> export_bars(const std::string& figure_id,
+                                       const std::vector<Bar>& bars,
+                                       const std::string& unit);
+
+std::optional<std::string> export_cdfs(const std::string& figure_id,
+                                       const std::vector<CdfSeries>& series);
+
+std::optional<std::string> export_curves(const std::string& figure_id,
+                                         const std::vector<Curve>& curves,
+                                         const std::string& x_label,
+                                         const std::string& y_label);
+
+std::optional<std::string> export_hap(const std::string& figure_id,
+                                      const std::vector<hap::HapScore>& scores);
+
+}  // namespace core

@@ -1,0 +1,361 @@
+#include "core/figures.h"
+
+#include "apps/memcached_bench.h"
+#include "apps/oltp_bench.h"
+#include "core/host_system.h"
+#include "platforms/factory.h"
+#include "platforms/osv_platform.h"
+#include "platforms/secure_platforms.h"
+#include "sim/clock.h"
+#include "vmm/vm.h"
+#include "workloads/ffmpeg_encode.h"
+#include "workloads/fio.h"
+#include "workloads/netbench.h"
+#include "workloads/sysbench_cpu.h"
+#include "workloads/tinymembench.h"
+
+namespace core {
+
+namespace {
+
+HostSystemSpec seeded_host(std::uint64_t seed) {
+  HostSystemSpec spec;
+  spec.rng_seed = seed;
+  return spec;
+}
+
+/// Runs `fn(platform, rng)` `reps` times per platform and collects bars.
+template <typename Fn>
+std::vector<Bar> per_platform_bars(int reps, std::uint64_t seed, Fn&& fn) {
+  HostSystem host(seeded_host(seed));
+  auto lineup = platforms::PlatformFactory::paper_lineup(host);
+  std::vector<Bar> bars;
+  for (auto& p : lineup) {
+    sim::Rng rng = host.rng().fork();
+    stats::Summary summary;
+    for (int r = 0; r < reps; ++r) {
+      summary.add(fn(*p, rng));
+    }
+    bars.push_back(Bar{p->name(), summary.mean(), summary.stddev(), false, ""});
+  }
+  return bars;
+}
+
+}  // namespace
+
+std::vector<Bar> figure5_ffmpeg(int reps, std::uint64_t seed) {
+  const workloads::FfmpegEncode encode;
+  return per_platform_bars(reps, seed,
+                           [&](platforms::Platform& p, sim::Rng& rng) {
+                             sim::Clock clock;
+                             return sim::to_millis(
+                                 encode.run(p, clock, rng).elapsed);
+                           });
+}
+
+std::vector<Bar> finding1_sysbench_cpu(int reps, std::uint64_t seed) {
+  const workloads::SysbenchCpu bench;
+  return per_platform_bars(reps, seed,
+                           [&](platforms::Platform& p, sim::Rng& rng) {
+                             sim::Clock clock;
+                             return bench.run(p, clock, rng).events_per_second;
+                           });
+}
+
+std::vector<Curve> figure6_memory_latency(int reps, std::uint64_t seed,
+                                          bool hugepages) {
+  HostSystem host(seeded_host(seed));
+  auto lineup = platforms::PlatformFactory::paper_lineup(host);
+  const workloads::TinyMemBench bench;
+  std::vector<Curve> curves;
+  for (auto& p : lineup) {
+    sim::Rng rng = host.rng().fork();
+    Curve curve;
+    curve.platform = p->name();
+    std::vector<stats::Summary> per_buffer;
+    std::vector<std::uint64_t> buffers;
+    for (int r = 0; r < reps; ++r) {
+      const auto points = bench.latency_sweep(*p, rng, hugepages);
+      if (per_buffer.empty()) {
+        per_buffer.resize(points.size());
+        for (const auto& pt : points) {
+          buffers.push_back(pt.buffer_bytes);
+        }
+      }
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        per_buffer[i].add(points[i].extra_ns);
+      }
+    }
+    for (std::size_t i = 0; i < per_buffer.size(); ++i) {
+      curve.x.push_back(static_cast<double>(buffers[i]));
+      curve.y.push_back(per_buffer[i].mean());
+      curve.yerr.push_back(per_buffer[i].stddev());
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+std::vector<BandwidthBar> figure7_memory_bandwidth(int reps,
+                                                   std::uint64_t seed) {
+  HostSystem host(seeded_host(seed));
+  auto lineup = platforms::PlatformFactory::paper_lineup(host);
+  const workloads::TinyMemBench bench;
+  std::vector<BandwidthBar> bars;
+  for (auto& p : lineup) {
+    sim::Rng rng = host.rng().fork();
+    stats::Summary regular, sse2;
+    for (int r = 0; r < reps; ++r) {
+      const auto bw = bench.bandwidth(*p, rng);
+      regular.add(bw.regular_bytes_per_sec / 1e6);
+      sse2.add(bw.sse2_bytes_per_sec / 1e6);
+    }
+    bars.push_back(BandwidthBar{p->name(), regular.mean(), regular.stddev(),
+                                sse2.mean(), sse2.stddev()});
+  }
+  return bars;
+}
+
+std::vector<Bar> figure8_stream(int reps, std::uint64_t seed) {
+  const workloads::StreamBench bench;
+  return per_platform_bars(reps, seed,
+                           [&](platforms::Platform& p, sim::Rng& rng) {
+                             return bench.copy_bandwidth(p, rng) / 1e6;
+                           });
+}
+
+std::vector<IoBar> figure9_fio_throughput(int reps, std::uint64_t seed) {
+  HostSystem host(seeded_host(seed));
+  auto lineup = platforms::PlatformFactory::paper_lineup(host);
+  std::vector<IoBar> bars;
+  for (auto& p : lineup) {
+    sim::Rng rng = host.rng().fork();
+    IoBar bar;
+    bar.platform = p->name();
+    bar.read.platform = p->name();
+    bar.write.platform = p->name();
+    stats::Summary read_mbps, write_mbps;
+    bool excluded = false;
+    std::string reason;
+    for (int r = 0; r < reps && !excluded; ++r) {
+      sim::Clock clock;
+      const workloads::Fio read_bench(
+          workloads::Fio::figure9_throughput(workloads::FioMode::kSeqRead));
+      const auto rres = read_bench.run(*p, clock, rng);
+      if (!rres.supported) {
+        excluded = true;
+        reason = rres.exclusion_reason;
+        break;
+      }
+      read_mbps.add(rres.throughput_bytes_per_sec / 1e6);
+      const workloads::Fio write_bench(
+          workloads::Fio::figure9_throughput(workloads::FioMode::kSeqWrite));
+      const auto wres = write_bench.run(*p, clock, rng);
+      write_mbps.add(wres.throughput_bytes_per_sec / 1e6);
+    }
+    bar.read.excluded = bar.write.excluded = excluded;
+    bar.read.exclusion_reason = bar.write.exclusion_reason = reason;
+    if (!excluded) {
+      bar.read.mean = read_mbps.mean();
+      bar.read.stddev = read_mbps.stddev();
+      bar.write.mean = write_mbps.mean();
+      bar.write.stddev = write_mbps.stddev();
+    }
+    bars.push_back(std::move(bar));
+  }
+  return bars;
+}
+
+std::vector<Bar> figure10_fio_randread(int reps, std::uint64_t seed) {
+  HostSystem host(seeded_host(seed));
+  auto lineup = platforms::PlatformFactory::paper_lineup(host);
+  std::vector<Bar> bars;
+  for (auto& p : lineup) {
+    sim::Rng rng = host.rng().fork();
+    Bar bar;
+    bar.platform = p->name();
+    if (!p->capabilities().extra_disk || !p->capabilities().libaio) {
+      bar.excluded = true;
+      bar.exclusion_reason = "no dedicated disk / no libaio";
+      bars.push_back(std::move(bar));
+      continue;
+    }
+    // The paper excludes gVisor here: its reads kept being served by the
+    // host page cache even after dropping caches.
+    if (!p->block()->spec().direct_flag_propagates) {
+      bar.excluded = true;
+      bar.exclusion_reason = "reads served from host cache (O_DIRECT lost)";
+      bars.push_back(std::move(bar));
+      continue;
+    }
+    stats::Summary latency_us;
+    for (int r = 0; r < reps; ++r) {
+      sim::Clock clock;
+      const workloads::Fio bench(workloads::Fio::figure10_randread());
+      const auto res = bench.run(*p, clock, rng);
+      latency_us.add(res.latencies_us.summary().mean());
+    }
+    bar.mean = latency_us.mean();
+    bar.stddev = latency_us.stddev();
+    bars.push_back(std::move(bar));
+  }
+  return bars;
+}
+
+std::vector<Bar> figure11_iperf3(int runs, std::uint64_t seed) {
+  const workloads::Iperf3 bench(runs);
+  return per_platform_bars(/*reps=*/1, seed,
+                           [&](platforms::Platform& p, sim::Rng& rng) {
+                             sim::Clock clock;
+                             return bench.run(p, clock, rng).max_gbps;
+                           });
+}
+
+std::vector<Bar> figure12_netperf(int runs, std::uint64_t seed) {
+  const workloads::Netperf bench;
+  return per_platform_bars(runs, seed,
+                           [&](platforms::Platform& p, sim::Rng& rng) {
+                             sim::Clock clock;
+                             return bench.run(p, clock, rng).p90_us;
+                           });
+}
+
+namespace {
+CdfSeries boot_cdf(platforms::Platform& platform, int startups, sim::Rng& rng) {
+  CdfSeries series;
+  series.platform = platform.name();
+  for (int i = 0; i < startups; ++i) {
+    series.samples_ms.add(
+        sim::to_millis(platform.boot_timeline().run(rng).total));
+  }
+  return series;
+}
+}  // namespace
+
+std::vector<CdfSeries> figure13_container_boot(int startups,
+                                               std::uint64_t seed) {
+  HostSystem host(seeded_host(seed));
+  sim::Rng rng(seed ^ 0x13);
+  std::vector<CdfSeries> result;
+  using platforms::FactoryOptions;
+  using platforms::PlatformFactory;
+  using platforms::PlatformId;
+  const auto add = [&](PlatformId id, bool via_daemon, const char* label) {
+    FactoryOptions opts;
+    opts.via_docker_daemon = via_daemon;
+    auto p = PlatformFactory::create(id, host, opts);
+    CdfSeries series = boot_cdf(*p, startups, rng);
+    series.platform = label;
+    result.push_back(std::move(series));
+  };
+  add(PlatformId::kDocker, false, "docker-oci");
+  add(PlatformId::kDocker, true, "docker");
+  add(PlatformId::kGvisor, false, "gvisor-oci");
+  add(PlatformId::kGvisor, true, "gvisor");
+  add(PlatformId::kKataContainers, false, "kata-oci");
+  add(PlatformId::kKataContainers, true, "kata");
+  add(PlatformId::kLxc, false, "lxc");
+  return result;
+}
+
+std::vector<CdfSeries> figure14_hypervisor_boot(int startups,
+                                                std::uint64_t seed) {
+  hostk::HostKernel kernel;
+  sim::Rng rng(seed ^ 0x14);
+  std::vector<CdfSeries> result;
+  for (const auto& spec :
+       {vmm::VmmCatalog::cloud_hypervisor(), vmm::VmmCatalog::qemu_kvm(),
+        vmm::VmmCatalog::qemu_qboot(), vmm::VmmCatalog::qemu_microvm(),
+        vmm::VmmCatalog::firecracker()}) {
+    vmm::Vm vm(spec, kernel);
+    CdfSeries series;
+    series.platform = spec.name;
+    for (int i = 0; i < startups; ++i) {
+      series.samples_ms.add(sim::to_millis(vm.boot_timeline().run(rng).total));
+    }
+    result.push_back(std::move(series));
+  }
+  return result;
+}
+
+std::vector<CdfSeries> figure15_osv_boot(int startups, std::uint64_t seed) {
+  hostk::HostKernel kernel;
+  sim::Rng rng(seed ^ 0x15);
+  std::vector<CdfSeries> result;
+  for (const auto& spec :
+       {vmm::VmmCatalog::osv_on_firecracker(),
+        vmm::VmmCatalog::osv_on_qemu_microvm(), vmm::VmmCatalog::osv_on_qemu()}) {
+    vmm::Vm vm(spec, kernel);
+    CdfSeries end_to_end;
+    end_to_end.platform = spec.name + "(e2e)";
+    CdfSeries stdout_line;
+    stdout_line.platform = spec.name + "(stdout)";
+    for (int i = 0; i < startups; ++i) {
+      const auto boot = vm.boot_timeline().run(rng);
+      end_to_end.samples_ms.add(sim::to_millis(boot.total));
+      // The stdout method stops at the boot banner: everything except the
+      // final teardown stage (Finding 16: the two nearly superimpose).
+      sim::Nanos stdout_total = boot.total;
+      if (!boot.stages.empty() && boot.stages.back().name == "vmm:teardown") {
+        stdout_total -= boot.stages.back().duration;
+      }
+      stdout_line.samples_ms.add(sim::to_millis(stdout_total));
+    }
+    result.push_back(std::move(end_to_end));
+    result.push_back(std::move(stdout_line));
+  }
+  return result;
+}
+
+std::vector<Bar> figure16_memcached(int runs, std::uint64_t seed) {
+  apps::MemcachedSpec spec;
+  spec.sampled_ops = 2'000;
+  spec.workload.record_count = 20'000;
+  const apps::MemcachedBench bench(spec);
+  return per_platform_bars(runs, seed,
+                           [&](platforms::Platform& p, sim::Rng& rng) {
+                             sim::Clock clock;
+                             return bench.run(p, clock, rng).ops_per_second /
+                                    1e3;  // kops/s
+                           });
+}
+
+std::vector<Curve> figure17_mysql_oltp(int runs, std::uint64_t seed) {
+  HostSystem host(seeded_host(seed));
+  auto lineup = platforms::PlatformFactory::paper_lineup(host);
+  apps::OltpSpec spec;
+  spec.rows_per_table = 8'000;
+  spec.sampled_txns = 60;
+  const apps::OltpBench bench(spec);
+  std::vector<Curve> curves;
+  for (auto& p : lineup) {
+    sim::Rng rng = host.rng().fork();
+    Curve curve;
+    curve.platform = p->name();
+    std::vector<stats::Summary> per_point(spec.thread_counts.size());
+    for (int r = 0; r < runs; ++r) {
+      sim::Clock clock;
+      const auto result = bench.run(*p, clock, rng);
+      for (std::size_t i = 0; i < result.curve.size(); ++i) {
+        per_point[i].add(result.curve[i].tps);
+      }
+    }
+    for (std::size_t i = 0; i < per_point.size(); ++i) {
+      curve.x.push_back(spec.thread_counts[i]);
+      curve.y.push_back(per_point[i].mean());
+      curve.yerr.push_back(per_point[i].stddev());
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+std::vector<hap::HapScore> figure18_hap(std::uint64_t seed) {
+  HostSystem host(seeded_host(seed));
+  auto lineup = platforms::PlatformFactory::paper_lineup(host);
+  sim::Rng rng(seed ^ 0x18);
+  const hap::HapExperiment experiment;
+  return experiment.measure_all(lineup, rng);
+}
+
+}  // namespace core

@@ -1,0 +1,126 @@
+// Figure-level experiments: one function per table/figure in the paper.
+//
+// Each function builds a fresh HostSystem, assembles the platforms the
+// figure compares, runs the paper's protocol (>= 10 repetitions with mean
+// +- stddev for bar charts; 300 startups for the CDFs; max-over-5-runs for
+// iperf3) and returns structured results. The bench binaries render these
+// as the rows/series the paper reports; the figure tests assert the
+// paper's findings against the same data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hap/hap.h"
+#include "stats/sample_set.h"
+#include "stats/summary.h"
+
+namespace core {
+
+/// Default seed: every figure is deterministic given its seed.
+constexpr std::uint64_t kFigureSeed = 0x15'0F'CA'FEull;
+
+/// One labeled bar with error bars.
+struct Bar {
+  std::string platform;
+  double mean = 0.0;
+  double stddev = 0.0;
+  bool excluded = false;          // platform not supported for this figure
+  std::string exclusion_reason;
+};
+
+/// One labeled CDF (startup figures).
+struct CdfSeries {
+  std::string platform;
+  stats::SampleSet samples_ms;
+};
+
+/// One labeled multi-point series (latency sweep, OLTP curve).
+struct Curve {
+  std::string platform;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> yerr;
+};
+
+// --- Section 3.1: compute -------------------------------------------------
+/// Figure 5: ffmpeg re-encode wall time (ms) per platform.
+std::vector<Bar> figure5_ffmpeg(int reps = 10, std::uint64_t seed = kFigureSeed);
+
+/// Finding 1's companion: sysbench CPU prime events/s per platform
+/// (expected: parity everywhere).
+std::vector<Bar> finding1_sysbench_cpu(int reps = 10,
+                                       std::uint64_t seed = kFigureSeed);
+
+// --- Section 3.2: memory --------------------------------------------------
+/// Figure 6: tinymembench random-access extra latency (ns) vs buffer size
+/// (2^16..2^26) per platform.
+std::vector<Curve> figure6_memory_latency(int reps = 10,
+                                          std::uint64_t seed = kFigureSeed,
+                                          bool hugepages = false);
+
+/// Figure 7: tinymembench copy bandwidth (MB/s), regular and SSE2.
+struct BandwidthBar {
+  std::string platform;
+  double regular_mbps = 0.0;
+  double regular_std = 0.0;
+  double sse2_mbps = 0.0;
+  double sse2_std = 0.0;
+};
+std::vector<BandwidthBar> figure7_memory_bandwidth(
+    int reps = 10, std::uint64_t seed = kFigureSeed);
+
+/// Figure 8: STREAM COPY bandwidth (MB/s).
+std::vector<Bar> figure8_stream(int reps = 10, std::uint64_t seed = kFigureSeed);
+
+// --- Section 3.3: I/O -----------------------------------------------------
+/// Figure 9: fio 128 KiB sequential read & write throughput (MB/s).
+struct IoBar {
+  std::string platform;
+  Bar read;
+  Bar write;
+};
+std::vector<IoBar> figure9_fio_throughput(int reps = 10,
+                                          std::uint64_t seed = kFigureSeed);
+
+/// Figure 10: fio 4 KiB randread latency (us). gVisor is marked excluded
+/// (host-cache artifact), as in the paper.
+std::vector<Bar> figure10_fio_randread(int reps = 10,
+                                       std::uint64_t seed = kFigureSeed);
+
+// --- Section 3.4: network -------------------------------------------------
+/// Figure 11: iperf3 maximum throughput (Gbit/s) over 5 runs.
+std::vector<Bar> figure11_iperf3(int runs = 5, std::uint64_t seed = kFigureSeed);
+
+/// Figure 12: netperf TCP_RR 90th-percentile latency (us) over 5 runs.
+std::vector<Bar> figure12_netperf(int runs = 5, std::uint64_t seed = kFigureSeed);
+
+// --- Section 3.5: startup -------------------------------------------------
+/// Figure 13: container boot CDFs, 300 startups, OCI and daemon variants.
+std::vector<CdfSeries> figure13_container_boot(
+    int startups = 300, std::uint64_t seed = kFigureSeed);
+
+/// Figure 14: hypervisor boot CDFs (CH, QEMU, qboot, uVM, Firecracker).
+std::vector<CdfSeries> figure14_hypervisor_boot(
+    int startups = 300, std::uint64_t seed = kFigureSeed);
+
+/// Figure 15: OSv boot CDFs under each hypervisor, measured both
+/// end-to-end and by stdout line (the two must superimpose, Finding 16).
+std::vector<CdfSeries> figure15_osv_boot(int startups = 300,
+                                         std::uint64_t seed = kFigureSeed);
+
+// --- Sections 3.6/3.7: applications ---------------------------------------
+/// Figure 16: Memcached YCSB workload-a throughput (kops/s), 5 runs.
+std::vector<Bar> figure16_memcached(int runs = 5,
+                                    std::uint64_t seed = kFigureSeed);
+
+/// Figure 17: MySQL sysbench oltp_read_write tps vs threads, 3 runs.
+std::vector<Curve> figure17_mysql_oltp(int runs = 3,
+                                       std::uint64_t seed = kFigureSeed);
+
+// --- Section 4: security --------------------------------------------------
+/// Figure 18: the extended HAP metric per platform.
+std::vector<hap::HapScore> figure18_hap(std::uint64_t seed = kFigureSeed);
+
+}  // namespace core

@@ -1,0 +1,14 @@
+#include "core/host_system.h"
+
+namespace core {
+
+HostSystem::HostSystem(HostSystemSpec spec)
+    : spec_(spec),
+      kernel_(),
+      nic_(spec.nic),
+      nvme_(spec.nvme),
+      page_cache_(spec.host_page_cache_bytes),
+      memory_(spec.memory),
+      rng_(spec.rng_seed) {}
+
+}  // namespace core

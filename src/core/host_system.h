@@ -1,0 +1,60 @@
+// The physical host every platform runs on.
+//
+// Bundles the paper's testbed (dual-socket EPYC2 7542, 256 GiB RAM, fast
+// NVMe, 40G NIC, Ubuntu 20.04 host kernel) into one object that platforms
+// and experiments share. One HostSystem per experiment keeps page-cache
+// state, ftrace captures and RNG streams properly scoped.
+#pragma once
+
+#include <cstdint>
+
+#include "hostk/block_device.h"
+#include "hostk/host_kernel.h"
+#include "hostk/nic.h"
+#include "hostk/page_cache.h"
+#include "mem/hierarchy.h"
+#include "sim/rng.h"
+
+namespace core {
+
+struct HostSystemSpec {
+  int cpu_threads = 128;  // 2 x 32 cores x SMT2
+  std::uint64_t ram_bytes = 256ull << 30;
+  std::uint64_t host_page_cache_bytes = 4ull << 30;  // cache devoted to I/O
+  hostk::BlockDeviceSpec nvme = {};
+  hostk::NicSpec nic = {};
+  mem::HierarchySpec memory = {};
+  std::uint64_t rng_seed = 0xB10C'FEED'CAFE'0001ull;
+};
+
+/// Aggregates the host kernel and hardware models.
+class HostSystem {
+ public:
+  explicit HostSystem(HostSystemSpec spec = {});
+
+  const HostSystemSpec& spec() const { return spec_; }
+
+  hostk::HostKernel& kernel() { return kernel_; }
+  const hostk::HostKernel& kernel() const { return kernel_; }
+  hostk::Nic& nic() { return nic_; }
+  hostk::BlockDevice& nvme() { return nvme_; }
+  hostk::PageCache& page_cache() { return page_cache_; }
+  mem::MemoryHierarchy& memory() { return memory_; }
+
+  /// Root RNG; fork() per-actor streams from it.
+  sim::Rng& rng() { return rng_; }
+
+  /// The paper's between-run hygiene: drop the host page cache.
+  void drop_caches() { page_cache_.drop_caches(); }
+
+ private:
+  HostSystemSpec spec_;
+  hostk::HostKernel kernel_;
+  hostk::Nic nic_;
+  hostk::BlockDevice nvme_;
+  hostk::PageCache page_cache_;
+  mem::MemoryHierarchy memory_;
+  sim::Rng rng_;
+};
+
+}  // namespace core

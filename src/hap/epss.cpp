@@ -1,0 +1,62 @@
+#include "hap/epss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hap {
+
+double EpssModel::subsystem_base_rate(hostk::Subsystem s) {
+  using hostk::Subsystem;
+  switch (s) {
+    case Subsystem::kNet:
+      return 0.072;  // remotely-reachable parsing code
+    case Subsystem::kKvm:
+      return 0.065;  // guest-controlled inputs
+    case Subsystem::kVsock:
+      return 0.058;
+    case Subsystem::kVfs:
+      return 0.041;
+    case Subsystem::kExt4:
+      return 0.038;
+    case Subsystem::kBlock:
+      return 0.031;
+    case Subsystem::kMm:
+      return 0.044;  // historically rich in privilege escalations
+    case Subsystem::kIpc:
+      return 0.046;  // futex CVE history
+    case Subsystem::kNamespace:
+      return 0.036;
+    case Subsystem::kCgroup:
+      return 0.027;
+    case Subsystem::kSignal:
+      return 0.029;
+    case Subsystem::kSecurity:
+      return 0.018;
+    case Subsystem::kSched:
+      return 0.016;
+    case Subsystem::kTime:
+      return 0.012;
+    case Subsystem::kIrq:
+      return 0.014;
+    case Subsystem::kMisc:
+      return 0.024;
+  }
+  return 0.02;
+}
+
+double EpssModel::score(const hostk::KernelFunction& fn) const {
+  // FNV-1a over the symbol name: a stable pseudo-draw in [0,1).
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : fn.name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  // EPSS scores are heavy-tailed: most functions score near the base
+  // rate, a few much higher. Model with a power-law tail.
+  const double base = subsystem_base_rate(fn.subsystem);
+  const double tail = std::pow(u, 6.0);  // rare high outliers
+  return std::min(0.97, base * (0.4 + 1.2 * u) + tail * 0.5);
+}
+
+}  // namespace hap

@@ -1,0 +1,25 @@
+// EPSS — Exploit Prediction Scoring System model (Section 4).
+//
+// The paper extends the HAP metric by weighing each host kernel function
+// by its likelihood of exploitation under the EPSS model (Jacobs et al.).
+// We model per-function scores deterministically: a subsystem base rate
+// (network-facing and KVM entry points score higher than, say, time-
+// keeping helpers) modulated by a stable per-symbol hash, so that scores
+// are reproducible without shipping the proprietary EPSS data set.
+#pragma once
+
+#include "hostk/kernel_function.h"
+
+namespace hap {
+
+class EpssModel {
+ public:
+  /// Probability-of-exploit score in [0, 1) for one kernel function.
+  /// Deterministic: the same symbol always scores the same.
+  double score(const hostk::KernelFunction& fn) const;
+
+  /// Subsystem base rate (mean score of a function in that subsystem).
+  static double subsystem_base_rate(hostk::Subsystem s);
+};
+
+}  // namespace hap

@@ -1,0 +1,37 @@
+#include "hostk/block_device.h"
+
+namespace hostk {
+
+BlockDevice::BlockDevice(BlockDeviceSpec spec) : spec_(spec) {}
+
+sim::Nanos BlockDevice::read_base(sim::Rng& rng) const {
+  return sim::DurationDist::lognormal(spec_.read_base_latency,
+                                      spec_.read_latency_sigma)
+      .sample(rng);
+}
+
+sim::Nanos BlockDevice::write_base(sim::Rng& rng) const {
+  return sim::DurationDist::lognormal(spec_.write_base_latency,
+                                      spec_.write_latency_sigma)
+      .sample(rng);
+}
+
+sim::Nanos BlockDevice::read_transfer(std::uint64_t bytes) const {
+  return sim::seconds(static_cast<double>(bytes) / spec_.read_bw_bytes_per_sec);
+}
+
+sim::Nanos BlockDevice::write_transfer(std::uint64_t bytes) const {
+  return sim::seconds(static_cast<double>(bytes) / spec_.write_bw_bytes_per_sec);
+}
+
+sim::Nanos BlockDevice::read(std::uint64_t bytes, sim::Rng& rng) const {
+  bytes_read_ += bytes;
+  return read_base(rng) + read_transfer(bytes);
+}
+
+sim::Nanos BlockDevice::write(std::uint64_t bytes, sim::Rng& rng) const {
+  bytes_written_ += bytes;
+  return write_base(rng) + write_transfer(bytes);
+}
+
+}  // namespace hostk

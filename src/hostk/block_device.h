@@ -1,0 +1,59 @@
+// NVMe SSD service-time model.
+//
+// The paper's testbed uses "a dedicated fast NVMe SSD". We model per-request
+// service time as a base access latency (lognormal) plus a transfer term
+// bounded by the device's sustained bandwidth; writes are slower and
+// noisier than reads, matching the wider error bars of Figure 9.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/distribution.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace hostk {
+
+/// Static description of a block device.
+struct BlockDeviceSpec {
+  sim::Nanos read_base_latency = sim::micros(78);   // 4 KiB QD1 random read
+  double read_latency_sigma = 0.10;
+  sim::Nanos write_base_latency = sim::micros(22);  // write-cache absorbed
+  double write_latency_sigma = 0.28;
+  double read_bw_bytes_per_sec = 3.3e9;   // sustained sequential read
+  double write_bw_bytes_per_sec = 2.4e9;  // sustained sequential write
+};
+
+/// A single NVMe namespace with read/write service-time sampling.
+class BlockDevice {
+ public:
+  explicit BlockDevice(BlockDeviceSpec spec = {});
+
+  /// Service time of one read of `bytes` (sequential transfers amortize the
+  /// base latency across the request, not per page).
+  sim::Nanos read(std::uint64_t bytes, sim::Rng& rng) const;
+
+  /// Service time of one write of `bytes`.
+  sim::Nanos write(std::uint64_t bytes, sim::Rng& rng) const;
+
+  /// Access-latency component only (queue + flash read), no transfer.
+  sim::Nanos read_base(sim::Rng& rng) const;
+  sim::Nanos write_base(sim::Rng& rng) const;
+
+  /// Bandwidth-bound transfer component only.
+  sim::Nanos read_transfer(std::uint64_t bytes) const;
+  sim::Nanos write_transfer(std::uint64_t bytes) const;
+
+  const BlockDeviceSpec& spec() const { return spec_; }
+
+  /// Totals since construction (for utilization assertions in tests).
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  BlockDeviceSpec spec_;
+  mutable std::uint64_t bytes_read_ = 0;
+  mutable std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace hostk

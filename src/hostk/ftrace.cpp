@@ -1,0 +1,40 @@
+#include "hostk/ftrace.h"
+
+namespace hostk {
+
+void Ftrace::start() {
+  counts_.clear();
+  recording_ = true;
+}
+
+void Ftrace::stop() { recording_ = false; }
+
+void Ftrace::record(FunctionId fn, std::uint64_t count) {
+  if (!recording_ || count == 0) {
+    return;
+  }
+  counts_[fn] += count;
+}
+
+std::uint64_t Ftrace::total_invocations() const {
+  std::uint64_t total = 0;
+  for (const auto& [fn, count] : counts_) {
+    total += count;
+  }
+  return total;
+}
+
+std::uint64_t Ftrace::count_of(FunctionId fn) const {
+  const auto it = counts_.find(fn);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::unordered_map<Subsystem, std::size_t> Ftrace::distinct_by_subsystem() const {
+  std::unordered_map<Subsystem, std::size_t> out;
+  for (const auto& [fn, count] : counts_) {
+    ++out[registry_->function(fn).subsystem];
+  }
+  return out;
+}
+
+}  // namespace hostk

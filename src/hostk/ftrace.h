@@ -1,0 +1,56 @@
+// ftrace-style recorder of host kernel function invocations.
+//
+// Models the paper's `trace-cmd` based methodology: while a workload runs,
+// every host kernel function the platform causes to execute is counted.
+// The HAP study (src/hap) aggregates these counts.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hostk/kernel_function.h"
+
+namespace hostk {
+
+/// Per-function invocation counts captured during a tracing window.
+class Ftrace {
+ public:
+  explicit Ftrace(const KernelFunctionRegistry& registry) : registry_(&registry) {}
+
+  /// Begin recording. Clears any previous capture.
+  void start();
+
+  /// Stop recording; counts stay available until the next start().
+  void stop();
+
+  bool recording() const { return recording_; }
+
+  /// Record `count` invocations of `fn`. No-op unless recording.
+  void record(FunctionId fn, std::uint64_t count = 1);
+
+  /// Number of distinct functions hit — the original HAP breadth metric.
+  std::size_t distinct_functions() const { return counts_.size(); }
+
+  /// Total invocations across all functions.
+  std::uint64_t total_invocations() const;
+
+  /// Invocations of one function (0 when never hit).
+  std::uint64_t count_of(FunctionId fn) const;
+
+  const std::unordered_map<FunctionId, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  /// Distinct functions per subsystem, for the HAP breakdown table.
+  std::unordered_map<Subsystem, std::size_t> distinct_by_subsystem() const;
+
+  const KernelFunctionRegistry& registry() const { return *registry_; }
+
+ private:
+  const KernelFunctionRegistry* registry_;
+  std::unordered_map<FunctionId, std::uint64_t> counts_;
+  bool recording_ = false;
+};
+
+}  // namespace hostk

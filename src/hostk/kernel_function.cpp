@@ -1,0 +1,285 @@
+#include "hostk/kernel_function.h"
+
+#include <stdexcept>
+
+namespace hostk {
+
+std::string_view subsystem_name(Subsystem s) {
+  switch (s) {
+    case Subsystem::kSched:
+      return "sched";
+    case Subsystem::kMm:
+      return "mm";
+    case Subsystem::kVfs:
+      return "vfs";
+    case Subsystem::kExt4:
+      return "ext4";
+    case Subsystem::kBlock:
+      return "block";
+    case Subsystem::kNet:
+      return "net";
+    case Subsystem::kKvm:
+      return "kvm";
+    case Subsystem::kNamespace:
+      return "namespace";
+    case Subsystem::kCgroup:
+      return "cgroup";
+    case Subsystem::kSecurity:
+      return "security";
+    case Subsystem::kIpc:
+      return "ipc";
+    case Subsystem::kTime:
+      return "time";
+    case Subsystem::kIrq:
+      return "irq";
+    case Subsystem::kSignal:
+      return "signal";
+    case Subsystem::kVsock:
+      return "vsock";
+    case Subsystem::kMisc:
+      return "misc";
+  }
+  return "unknown";
+}
+
+void KernelFunctionRegistry::register_function(std::string name, Subsystem s) {
+  const FunctionId id = static_cast<FunctionId>(functions_.size());
+  by_name_.emplace(name, id);
+  functions_.push_back(KernelFunction{id, std::move(name), s});
+}
+
+KernelFunctionRegistry::KernelFunctionRegistry() {
+  const auto reg = [this](Subsystem s, std::initializer_list<const char*> names) {
+    for (const char* n : names) {
+      register_function(n, s);
+    }
+  };
+
+  reg(Subsystem::kSched,
+      {"schedule", "__schedule", "pick_next_task_fair", "enqueue_task_fair",
+       "dequeue_task_fair", "update_curr", "try_to_wake_up", "wake_up_process",
+       "ttwu_do_activate", "select_task_rq_fair", "load_balance",
+       "scheduler_tick", "sched_clock", "finish_task_switch",
+       "context_switch", "prepare_task_switch", "do_sched_yield",
+       "yield_to", "update_rq_clock", "put_prev_task_fair",
+       "check_preempt_wakeup", "resched_curr", "idle_cpu",
+       "update_load_avg", "set_next_entity", "place_entity",
+       "task_tick_fair", "hrtick_update", "cpuacct_charge",
+       "migrate_task_rq_fair"});
+
+  reg(Subsystem::kMm,
+      {"do_mmap", "mmap_region", "vm_mmap_pgoff", "__do_munmap",
+       "do_brk_flags", "handle_mm_fault", "__handle_mm_fault",
+       "do_anonymous_page", "do_fault", "filemap_fault", "do_wp_page",
+       "alloc_pages_vma", "__alloc_pages", "get_page_from_freelist",
+       "free_unref_page", "lru_cache_add", "page_add_new_anon_rmap",
+       "copy_page_range", "zap_page_range", "unmap_region", "vma_merge",
+       "vma_link", "find_vma", "expand_downwards", "mprotect_fixup",
+       "change_protection", "madvise_dontneed_free", "ksm_madvise",
+       "ksm_scan_thread", "try_to_merge_one_page", "stable_tree_search",
+       "follow_page", "get_user_pages_fast", "pin_user_pages",
+       "mm_populate", "__mm_populate", "populate_vma_page_range",
+       "do_huge_pmd_anonymous_page", "hugetlb_fault", "alloc_huge_page",
+       "shmem_fault", "shmem_getpage_gfp", "wp_page_copy",
+       "page_remove_rmap", "tlb_flush_mmu", "flush_tlb_mm_range",
+       "mem_cgroup_charge", "uncharge_page"});
+
+  reg(Subsystem::kVfs,
+      {"ksys_read", "ksys_write", "vfs_read", "vfs_write", "vfs_readv",
+       "vfs_writev", "new_sync_read", "new_sync_write", "rw_verify_area",
+       "do_sys_openat2", "do_filp_open", "path_openat", "link_path_walk",
+       "lookup_fast", "walk_component", "step_into", "dput", "path_put",
+       "do_dentry_open", "vfs_open", "filp_close", "fput", "____fput",
+       "generic_file_read_iter", "generic_file_write_iter",
+       "filemap_read", "generic_perform_write", "file_update_time",
+       "vfs_fsync_range", "vfs_fallocate", "do_sys_ftruncate",
+       "vfs_statx", "vfs_getattr", "iterate_dir", "dcache_readdir",
+       "do_pipe2", "pipe_read", "pipe_write", "anon_inode_getfd",
+       "do_dup2", "do_fcntl", "eventfd_write", "eventfd_read",
+       "ep_poll", "ep_insert", "ep_send_events", "do_epoll_wait",
+       "do_epoll_ctl", "io_submit_one", "aio_read", "aio_write",
+       "do_io_getevents", "fsnotify", "__fsnotify_parent",
+       "generic_file_llseek", "touch_atime", "sb_start_write",
+       "mnt_want_write", "lookup_open", "open_last_lookups",
+       "may_open", "complete_walk", "terminate_walk", "getname_flags",
+       "putname", "alloc_fd", "fd_install", "close_fd", "iov_iter_init",
+       "copy_page_to_iter", "copy_page_from_iter", "balance_dirty_pages"});
+
+  reg(Subsystem::kExt4,
+      {"ext4_file_read_iter", "ext4_file_write_iter", "ext4_map_blocks",
+       "ext4_ext_map_blocks", "ext4_da_write_begin", "ext4_da_write_end",
+       "ext4_writepages", "ext4_readpage", "ext4_mpage_readpages",
+       "ext4_sync_file", "ext4_fallocate", "ext4_getattr",
+       "ext4_file_open", "ext4_release_file", "ext4_dirty_inode",
+       "ext4_journal_start_sb", "jbd2_journal_commit_transaction",
+       "ext4_es_lookup_extent", "ext4_block_write_begin",
+       "ext4_direct_IO", "iomap_dio_rw", "iomap_dio_bio_end_io"});
+
+  reg(Subsystem::kBlock,
+      {"submit_bio", "submit_bio_noacct", "blk_mq_submit_bio",
+       "blk_mq_get_new_requests", "blk_mq_run_hw_queue",
+       "blk_mq_dispatch_rq_list", "blk_mq_end_request",
+       "blk_mq_complete_request", "blk_account_io_start",
+       "blk_account_io_done", "bio_alloc_bioset", "bio_endio",
+       "nvme_queue_rq", "nvme_complete_rq", "nvme_pci_complete_rq",
+       "nvme_irq", "nvme_process_cq", "nvme_setup_cmd",
+       "blk_finish_plug", "blk_start_plug", "blkdev_read_iter",
+       "blkdev_write_iter", "blkdev_direct_IO", "loop_queue_work",
+       "lo_rw_aio", "loop_handle_cmd", "wbt_wait", "rq_qos_throttle"});
+
+  reg(Subsystem::kNet,
+      {"sock_sendmsg", "sock_recvmsg", "__sys_sendto", "__sys_recvfrom",
+       "____sys_sendmsg", "____sys_recvmsg", "tcp_sendmsg",
+       "tcp_sendmsg_locked", "tcp_recvmsg", "tcp_write_xmit",
+       "tcp_push", "tcp_rcv_established", "tcp_ack", "tcp_data_queue",
+       "tcp_v4_rcv", "tcp_v4_do_rcv", "tcp_transmit_skb",
+       "__tcp_transmit_skb", "ip_queue_xmit", "ip_local_out",
+       "ip_output", "ip_finish_output2", "ip_rcv", "ip_local_deliver",
+       "__netif_receive_skb", "netif_receive_skb", "napi_gro_receive",
+       "dev_queue_xmit", "__dev_queue_xmit", "dev_hard_start_xmit",
+       "sch_direct_xmit", "pfifo_fast_dequeue", "net_rx_action",
+       "__napi_poll", "process_backlog", "skb_copy_datagram_iter",
+       "skb_release_data", "kfree_skb", "alloc_skb", "__alloc_skb",
+       "sk_stream_alloc_skb", "tcp_v4_connect", "tcp_v4_syn_recv_sock",
+       "inet_csk_accept", "__sys_accept4", "__sys_connect",
+       "__sys_socket", "sock_alloc_file", "inet_bind", "inet_listen",
+       "sock_setsockopt", "tcp_setsockopt", "br_handle_frame",
+       "br_forward", "br_nf_pre_routing", "veth_xmit",
+       "tun_get_user", "tun_sendmsg", "tun_recvmsg", "tun_net_xmit",
+       "tap_do_read", "vhost_net_tx", "vhost_net_rx", "vhost_poll_queue",
+       "nf_hook_slow", "nf_conntrack_in", "ipt_do_table",
+       "netif_rx_internal", "enqueue_to_backlog", "dst_release",
+       "fib_table_lookup", "ip_route_output_key_hash", "udp_sendmsg",
+       "udp_recvmsg", "sock_wfree", "sock_def_readable",
+       "tcp_clean_rtx_queue", "tcp_rate_skb_delivered"});
+
+  reg(Subsystem::kKvm,
+      {"kvm_vcpu_ioctl", "kvm_arch_vcpu_ioctl_run", "vcpu_enter_guest",
+       "vmx_vcpu_run", "vmx_handle_exit", "kvm_emulate_hypercall",
+       "handle_ept_violation", "kvm_mmu_page_fault", "direct_page_fault",
+       "kvm_tdp_mmu_map", "kvm_set_memory_region",
+       "__kvm_set_memory_region", "kvm_dev_ioctl", "kvm_vm_ioctl",
+       "kvm_vm_ioctl_create_vcpu", "kvm_arch_vcpu_create",
+       "kvm_vcpu_kick", "kvm_vcpu_wake_up", "kvm_vcpu_block",
+       "kvm_arch_vcpu_runnable", "kvm_apic_set_irq",
+       "kvm_irq_delivery_to_apic", "kvm_set_msi", "kvm_io_bus_write",
+       "kvm_io_bus_read", "ioeventfd_write", "irqfd_wakeup",
+       "kvm_lapic_expired_hv_timer", "handle_io", "handle_mmio",
+       "complete_emulated_io", "kvm_mmu_load", "kvm_arch_hardware_enable",
+       "vmx_prepare_switch_to_guest", "kvm_load_guest_fpu",
+       "kvm_put_guest_fpu", "kvm_on_user_return", "kvm_steal_time_set",
+       "record_steal_time", "kvm_guest_exit_irqoff"});
+
+  reg(Subsystem::kNamespace,
+      {"copy_namespaces", "create_new_namespaces", "unshare_nsproxy_namespaces",
+       "ksys_unshare", "copy_pid_ns", "create_pid_namespace",
+       "copy_net_ns", "setup_net", "copy_mnt_ns", "copy_utsname",
+       "copy_ipcs", "create_user_ns", "switch_task_namespaces",
+       "__do_sys_setns", "pidns_install", "mntns_install",
+       "netns_install", "free_nsproxy", "put_pid_ns", "proc_alloc_inum",
+       "pivot_root", "__do_sys_pivot_root", "do_mount", "path_mount",
+       "do_new_mount", "vfs_create_mount", "attach_recursive_mnt",
+       "do_umount", "propagate_mnt", "mnt_set_mountpoint"});
+
+  reg(Subsystem::kCgroup,
+      {"cgroup_mkdir", "cgroup_rmdir", "cgroup_attach_task",
+       "cgroup_migrate", "cgroup_procs_write", "css_set_move_task",
+       "cgroup_post_fork", "cgroup_can_fork", "cpu_cgroup_attach",
+       "mem_cgroup_can_attach", "cpuset_can_attach", "cgroup_file_write",
+       "cgroup_apply_control", "rebind_subsystems",
+       "cpu_shares_write_u64", "memory_max_write", "pids_max_write",
+       "blkcg_conf_open_bdev", "cgroup_freeze", "throttle_cfs_rq"});
+
+  reg(Subsystem::kSecurity,
+      {"security_file_permission", "security_vm_enough_memory_mm",
+       "security_mmap_file", "security_socket_sendmsg",
+       "security_socket_recvmsg", "security_socket_create",
+       "security_task_alloc", "security_bprm_check", "apparmor_file_permission",
+       "apparmor_socket_sendmsg", "seccomp_filter", "__seccomp_filter",
+       "seccomp_run_filters", "bpf_prog_run_pin_on_cpu", "do_seccomp",
+       "prctl_set_seccomp", "seccomp_attach_filter", "populate_seccomp_data",
+       "security_capable", "cap_capable", "audit_log_start",
+       "audit_filter_syscall"});
+
+  reg(Subsystem::kIpc,
+      {"do_futex", "futex_wait", "futex_wake", "futex_wait_queue_me",
+       "futex_requeue", "get_futex_key", "hash_futex",
+       "wake_up_q", "do_signalfd4", "signalfd_read", "mq_timedsend",
+       "mq_timedreceive", "do_shmat", "shm_open", "do_msgsnd",
+       "do_msgrcv"});
+
+  reg(Subsystem::kTime,
+      {"hrtimer_start_range_ns", "hrtimer_interrupt", "hrtimer_wakeup",
+       "__hrtimer_run_queues", "do_nanosleep", "hrtimer_nanosleep",
+       "ktime_get", "ktime_get_update_offsets_now", "clock_was_set",
+       "do_clock_gettime", "posix_ktime_get_ts", "timekeeping_update",
+       "tick_sched_timer", "tick_sched_handle", "update_wall_time",
+       "read_tsc", "kvm_clock_get_cycles", "pvclock_clocksource_read",
+       "alarm_timer_arm", "timerfd_read", "timerfd_tmrproc"});
+
+  reg(Subsystem::kIrq,
+      {"handle_irq_event", "handle_edge_irq", "__handle_domain_irq",
+       "do_IRQ", "irq_exit_rcu", "__do_softirq", "run_ksoftirqd",
+       "tasklet_action_common", "raise_softirq", "ipi_send_single",
+       "smp_call_function_single", "generic_smp_call_function_single_interrupt",
+       "apic_timer_interrupt", "reschedule_interrupt", "msi_domain_activate",
+       "eventfd_signal", "wake_up_interruptible_poll"});
+
+  reg(Subsystem::kSignal,
+      {"do_signal", "get_signal", "send_signal", "__send_signal",
+       "complete_signal", "signal_wake_up_state", "do_send_sig_info",
+       "kill_pid_info", "group_send_sig_info", "sigprocmask",
+       "restore_sigcontext", "setup_rt_frame", "do_sigaction",
+       "ptrace_stop", "ptrace_notify", "ptrace_request",
+       "ptrace_resume", "ptrace_setregs", "ptrace_getregs",
+       "arch_ptrace", "ptrace_attach", "ptrace_check_attach"});
+
+  reg(Subsystem::kVsock,
+      {"vsock_connect", "vsock_stream_sendmsg", "vsock_stream_recvmsg",
+       "virtio_transport_send_pkt", "virtio_transport_recv_pkt",
+       "virtio_transport_do_send_pkt", "vhost_vsock_handle_tx_kick",
+       "vhost_vsock_handle_rx_kick", "vsock_queue_rcv_skb",
+       "vhost_transport_do_send_pkt", "vsock_poll", "vsock_accept"});
+
+  reg(Subsystem::kMisc,
+      {"do_syscall_64", "syscall_enter_from_user_mode",
+       "syscall_exit_to_user_mode", "entry_SYSCALL_64",
+       "exit_to_user_mode_prepare", "copy_process", "kernel_clone",
+       "wake_up_new_task", "do_exit", "do_group_exit", "release_task",
+       "begin_new_exec", "load_elf_binary", "do_execveat_common",
+       "bprm_execve", "setup_arg_pages", "do_task_dead", "mm_release",
+       "exit_mm", "pid_vnr", "find_task_by_vpid", "do_wait",
+       "kernel_waitid", "proc_reg_read", "proc_pid_status",
+       "seq_read_iter", "kernfs_fop_read_iter", "kernfs_iop_lookup",
+       "get_random_bytes", "urandom_read", "vdso_fault",
+       "perf_event_mmap", "acct_collect", "taskstats_exit"});
+}
+
+FunctionId KernelFunctionRegistry::id_of(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    throw std::out_of_range("KernelFunctionRegistry: unknown symbol: " +
+                            std::string(name));
+  }
+  return it->second;
+}
+
+bool KernelFunctionRegistry::contains(std::string_view name) const {
+  return by_name_.find(std::string(name)) != by_name_.end();
+}
+
+const KernelFunction& KernelFunctionRegistry::function(FunctionId id) const {
+  return functions_.at(id);
+}
+
+std::vector<FunctionId> KernelFunctionRegistry::functions_in(Subsystem s) const {
+  std::vector<FunctionId> out;
+  for (const auto& f : functions_) {
+    if (f.subsystem == s) {
+      out.push_back(f.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace hostk

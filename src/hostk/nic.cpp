@@ -1,0 +1,28 @@
+#include "hostk/nic.h"
+
+namespace hostk {
+
+Nic::Nic(NicSpec spec) : spec_(spec) {}
+
+std::uint64_t Nic::packets_for(std::uint64_t bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  return (bytes + spec_.mtu - 1) / spec_.mtu;
+}
+
+sim::Nanos Nic::transfer_time(std::uint64_t bytes, sim::Rng& rng) const {
+  const double serialization_s =
+      static_cast<double>(bytes) * 8.0 / spec_.line_rate_bps;
+  const std::uint64_t pkts = packets_for(bytes);
+  const sim::Nanos jitter =
+      static_cast<sim::Nanos>(rng.uniform(0.0, 50.0));
+  return sim::seconds(serialization_s) +
+         static_cast<sim::Nanos>(pkts) * spec_.per_packet_cost + jitter;
+}
+
+sim::Nanos Nic::latency(sim::Rng& rng) const {
+  return spec_.base_latency + static_cast<sim::Nanos>(rng.uniform(0.0, 2000.0));
+}
+
+}  // namespace hostk

@@ -1,0 +1,43 @@
+// Physical NIC model.
+//
+// The paper's iperf3 native baseline reaches 37.28 Gbit/s over IP; we model
+// the NIC as a line rate plus fixed per-packet CPU/DMA cost, so software
+// layers stacked on top (bridges, TAP devices, user-space netstacks) each
+// reduce the achievable throughput as in Figure 11.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace hostk {
+
+struct NicSpec {
+  double line_rate_bps = 40e9;      // 40 GbE
+  sim::Nanos per_packet_cost = 22;  // driver+DMA+interrupt, TSO/GRO amortized
+  std::uint32_t mtu = 1500;
+  sim::Nanos base_latency = sim::micros(18);  // wire + switch one-way
+};
+
+/// Computes transfer times for packetized payloads.
+class Nic {
+ public:
+  explicit Nic(NicSpec spec = {});
+
+  /// Number of MTU-sized packets needed for a payload.
+  std::uint64_t packets_for(std::uint64_t bytes) const;
+
+  /// Time to push `bytes` through the wire (serialization + per-packet cost).
+  sim::Nanos transfer_time(std::uint64_t bytes, sim::Rng& rng) const;
+
+  /// One-way propagation latency sample.
+  sim::Nanos latency(sim::Rng& rng) const;
+
+  const NicSpec& spec() const { return spec_; }
+
+ private:
+  NicSpec spec_;
+};
+
+}  // namespace hostk

@@ -1,0 +1,83 @@
+#include "hostk/page_cache.h"
+
+namespace hostk {
+
+PageCache::PageCache(std::uint64_t capacity_bytes)
+    : capacity_pages_(capacity_bytes / kPageSize) {}
+
+bool PageCache::access(PageKey key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void PageCache::insert(PageKey key) {
+  if (capacity_pages_ == 0) {
+    return;
+  }
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+  evict_if_needed();
+}
+
+std::uint64_t PageCache::access_range(std::uint64_t file, std::uint64_t offset,
+                                      std::uint64_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  const std::uint64_t first = offset / kPageSize;
+  const std::uint64_t last = (offset + len - 1) / kPageSize;
+  std::uint64_t miss_count = 0;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    const PageKey key{file, p};
+    if (!access(key)) {
+      ++miss_count;
+      insert(key);
+    }
+  }
+  return miss_count;
+}
+
+bool PageCache::resident(std::uint64_t file, std::uint64_t offset,
+                         std::uint64_t len) const {
+  if (len == 0) {
+    return true;
+  }
+  const std::uint64_t first = offset / kPageSize;
+  const std::uint64_t last = (offset + len - 1) / kPageSize;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    if (map_.find(PageKey{file, p}) == map_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PageCache::drop_caches() {
+  lru_.clear();
+  map_.clear();
+}
+
+void PageCache::reset_stats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void PageCache::evict_if_needed() {
+  while (map_.size() > capacity_pages_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace hostk

@@ -1,0 +1,70 @@
+// Host buffer (page) cache model.
+//
+// Central to the paper's I/O methodology: guests that bypass their own cache
+// with O_DIRECT can still be served from the *host* page cache when the flag
+// is not propagated through a loop device — the pitfall Section 3.3 works
+// around by dropping host caches before each run. We model the cache at
+// 4 KiB page granularity with LRU eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace hostk {
+
+/// Identifies a cached page: (file id, page index within the file).
+struct PageKey {
+  std::uint64_t file;
+  std::uint64_t page;
+  bool operator==(const PageKey&) const = default;
+};
+
+struct PageKeyHash {
+  std::size_t operator()(const PageKey& k) const {
+    return std::hash<std::uint64_t>()(k.file * 0x9E3779B97F4A7C15ull + k.page);
+  }
+};
+
+/// LRU page cache with hit/miss accounting.
+class PageCache {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  /// `capacity_bytes` is rounded down to whole pages; zero disables caching.
+  explicit PageCache(std::uint64_t capacity_bytes);
+
+  /// Look up one page; promotes on hit. Returns true on hit.
+  bool access(PageKey key);
+
+  /// Insert (or refresh) a page, evicting LRU pages as needed.
+  void insert(PageKey key);
+
+  /// Access a byte range: returns the number of page *misses*; all touched
+  /// pages are inserted (read-ahead/readback behavior).
+  std::uint64_t access_range(std::uint64_t file, std::uint64_t offset,
+                             std::uint64_t len);
+
+  /// Whether the range is fully resident (no promotion side effects).
+  bool resident(std::uint64_t file, std::uint64_t offset, std::uint64_t len) const;
+
+  /// `echo 3 > /proc/sys/vm/drop_caches`.
+  void drop_caches();
+
+  std::uint64_t capacity_pages() const { return capacity_pages_; }
+  std::uint64_t size_pages() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_stats();
+
+ private:
+  void evict_if_needed();
+
+  std::uint64_t capacity_pages_;
+  std::list<PageKey> lru_;  // front = most recent
+  std::unordered_map<PageKey, std::list<PageKey>::iterator, PageKeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hostk

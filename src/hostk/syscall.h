@@ -1,0 +1,105 @@
+// Host system call vocabulary.
+//
+// Platforms interact with the modeled host kernel exclusively through these
+// syscalls; each expands into a chain of kernel functions (host_kernel.h)
+// with an associated CPU cost. KVM ioctl sub-commands are first-class
+// entries because their kernel paths (and HAP contributions) differ wildly.
+#pragma once
+
+#include <string_view>
+
+namespace hostk {
+
+enum class Syscall {
+  // File & I/O
+  kRead,
+  kWrite,
+  kPread64,
+  kPwrite64,
+  kReadv,
+  kWritev,
+  kOpenat,
+  kClose,
+  kFstat,
+  kStatx,
+  kLseek,
+  kFallocate,
+  kFsync,
+  kGetdents64,
+  kIoSubmit,
+  kIoGetevents,
+  kEventfd2,
+  kEpollWait,
+  kEpollCtl,
+  kPipe2,
+  kDup3,
+  kFcntl,
+  kIoctlTun,
+  kIoctlLoop,
+  // Memory
+  kMmap,
+  kMunmap,
+  kMprotect,
+  kMadvise,
+  kBrk,
+  // Network
+  kSocket,
+  kBind,
+  kListen,
+  kAccept4,
+  kConnect,
+  kSendto,
+  kRecvfrom,
+  kSendmsg,
+  kRecvmsg,
+  kSetsockopt,
+  // Vsock (kata-agent control channel)
+  kVsockSend,
+  kVsockRecv,
+  // Process & threads
+  kClone,
+  kClone3,
+  kExecve,
+  kExitGroup,
+  kWait4,
+  kFutexWait,
+  kFutexWake,
+  kSchedYield,
+  kNanosleep,
+  kKill,
+  kTgkill,
+  kRtSigreturn,
+  kPtraceSysemu,
+  kPtraceGetregs,
+  kPtraceSetregs,
+  // Namespaces, mounts, cgroups, seccomp
+  kUnshare,
+  kSetns,
+  kPivotRoot,
+  kMount,
+  kUmount2,
+  kSeccompLoad,
+  kPrctl,
+  kCgroupWrite,
+  // Time
+  kClockGettime,
+  // KVM ioctls
+  kKvmCreateVm,
+  kKvmCreateVcpu,
+  kKvmSetUserMemoryRegion,
+  kKvmRun,
+  kKvmIrqLine,
+  kKvmIoeventfd,
+  kKvmGetRegs,
+  kKvmSetRegs,
+  // /proc and sysfs reads (HAP-relevant observability surface)
+  kProcRead,
+
+  kCount_,  // sentinel
+};
+
+constexpr std::size_t kSyscallCount = static_cast<std::size_t>(Syscall::kCount_);
+
+std::string_view syscall_name(Syscall s);
+
+}  // namespace hostk

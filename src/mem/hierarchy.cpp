@@ -1,0 +1,99 @@
+#include "mem/hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mem {
+
+MemoryHierarchy::MemoryHierarchy(HierarchySpec spec) : spec_(spec) {}
+
+double MemoryHierarchy::dram_fraction(std::uint64_t buffer_bytes) const {
+  if (buffer_bytes == 0) {
+    return 0.0;
+  }
+  const double b = static_cast<double>(buffer_bytes);
+  return std::max(0.0, 1.0 - static_cast<double>(spec_.l3_size) / b);
+}
+
+double MemoryHierarchy::tlb_miss_fraction(std::uint64_t buffer_bytes,
+                                          bool hugepages) const {
+  if (buffer_bytes == 0) {
+    return 0.0;
+  }
+  const double coverage =
+      hugepages ? static_cast<double>(spec_.tlb_entries_2m) *
+                      static_cast<double>(spec_.page_size_2m)
+                : static_cast<double>(spec_.tlb_entries_4k) *
+                      static_cast<double>(spec_.page_size_4k);
+  return std::max(0.0, 1.0 - coverage / static_cast<double>(buffer_bytes));
+}
+
+double MemoryHierarchy::random_access_extra_ns(std::uint64_t buffer_bytes,
+                                               const MemoryProfile& profile,
+                                               bool hugepages,
+                                               sim::Rng& rng) const {
+  const double b = static_cast<double>(std::max<std::uint64_t>(buffer_bytes, 1));
+  const auto level_fraction = [&](std::uint64_t size) {
+    return std::min(1.0, static_cast<double>(size) / b);
+  };
+  const double f_l1 = level_fraction(spec_.l1_size);
+  const double f_l2 = level_fraction(spec_.l2_size);
+  const double f_l3 = level_fraction(spec_.l3_size);
+
+  double latency = f_l1 * spec_.l1_latency_ns +
+                   (f_l2 - f_l1) * spec_.l2_latency_ns +
+                   (f_l3 - f_l2) * spec_.l3_latency_ns +
+                   (1.0 - f_l3) * spec_.dram_latency_ns;
+
+  // Page-walk contribution. Under EPT each guest walk level requires a
+  // nested walk through the host tables, amplifying the effective cost.
+  const bool use_huge = hugepages && profile.hugepage_support;
+  const double miss = tlb_miss_fraction(buffer_bytes, use_huge);
+  double walk = static_cast<double>(spec_.walk_levels) * spec_.walk_ref_latency_ns;
+  if (profile.ept) {
+    walk *= profile.ept_walk_factor;
+  }
+  latency += miss * walk;
+
+  // Backing-layer penalty applies to accesses that reach DRAM; the per-run
+  // jitter offset models the wide error bars of Firecracker in Figure 6.
+  if (profile.backing_extra_ns > 0.0) {
+    double extra = profile.backing_extra_ns;
+    if (profile.backing_jitter > 0.0) {
+      extra = std::max(
+          0.0, rng.normal(extra, extra * profile.backing_jitter));
+    }
+    latency += dram_fraction(buffer_bytes) * extra;
+  }
+
+  // Measurement noise of the benchmark itself (~1.5%).
+  latency *= 1.0 + rng.normal(0.0, 0.015);
+  return std::max(0.0, latency - spec_.l1_latency_ns);
+}
+
+double MemoryHierarchy::copy_bandwidth(CopyKind kind,
+                                       const MemoryProfile& profile,
+                                       sim::Rng& rng) const {
+  double base = 0.0;
+  switch (kind) {
+    case CopyKind::kRegular:
+      base = spec_.copy_bw_regular;
+      break;
+    case CopyKind::kSse2:
+      base = spec_.copy_bw_sse2;
+      break;
+    case CopyKind::kStreamCopy:
+      base = spec_.stream_copy_bw;
+      break;
+  }
+  double bw = base * profile.bandwidth_factor;
+  // Streaming copies page in their working set once; EPT makes those cold
+  // walks dearer, a second-order effect on bandwidth.
+  if (profile.ept) {
+    bw *= 0.985;
+  }
+  bw *= 1.0 + rng.normal(0.0, 0.012);
+  return std::max(0.0, bw);
+}
+
+}  // namespace mem

@@ -1,0 +1,94 @@
+// Memory-hierarchy model: TLB, cache levels, DRAM, page-table walks.
+//
+// Reproduces the shape of the paper's tinymembench (Figures 6 & 7) and
+// STREAM (Figure 8) results. The latency model is analytic: for a random
+// access in a buffer of B bytes, each cache level of size S serves a
+// min(1, S/B) fraction of accesses; TLB misses add a page-walk cost that is
+// amplified under nested paging (EPT); platforms that route guest memory
+// through an extra software layer (the vm-memory crate in Firecracker and
+// Cloud Hypervisor) add a per-DRAM-access penalty with run-to-run jitter.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace mem {
+
+/// Hardware parameters, defaults calibrated to the paper's dual-socket
+/// AMD EPYC2 7542 testbed.
+struct HierarchySpec {
+  std::uint64_t l1_size = 32ull << 10;
+  double l1_latency_ns = 1.1;
+  std::uint64_t l2_size = 512ull << 10;
+  double l2_latency_ns = 3.8;
+  std::uint64_t l3_size = 16ull << 20;  // per-CCX slice actually visible
+  double l3_latency_ns = 13.5;
+  double dram_latency_ns = 88.0;
+
+  std::uint32_t tlb_entries_4k = 1536;   // unified L2 dTLB
+  std::uint32_t tlb_entries_2m = 1536;   // shares the same structure
+  std::uint64_t page_size_4k = 4096;
+  std::uint64_t page_size_2m = 2ull << 20;
+  int walk_levels = 4;
+  double walk_ref_latency_ns = 7.0;  // per level, page-walk caches warm
+
+  double copy_bw_regular = 11.8e9;  // single-thread memcpy, bytes/s
+  double copy_bw_sse2 = 13.6e9;     // non-temporal SSE2 stores
+  double stream_copy_bw = 15.2e9;   // STREAM COPY kernel
+};
+
+/// How a platform's virtualization layer perturbs the memory subsystem.
+struct MemoryProfile {
+  /// Nested paging: guest-physical -> host-physical adds a second dimension
+  /// to every page walk.
+  bool ept = false;
+  double ept_walk_factor = 2.3;
+
+  /// Extra per-DRAM-access cost from the guest-memory backing layer
+  /// (vm-memory crate, Section 3.2). Zero for direct-mapped layouts
+  /// (Kata's NVDIMM) and for namespace platforms.
+  double backing_extra_ns = 0.0;
+  /// Run-to-run variability of the backing layer (stddev of a per-run
+  /// offset, as a fraction of backing_extra_ns).
+  double backing_jitter = 0.0;
+
+  /// Sustained-bandwidth multiplier (1.0 = native).
+  double bandwidth_factor = 1.0;
+
+  bool hugepage_support = true;
+};
+
+/// Analytic memory model shared by all platforms on a host.
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(HierarchySpec spec = {});
+
+  /// Mean latency of one random access in a `buffer_bytes` buffer, in ns,
+  /// *excluding* the base L1 latency (tinymembench's reporting convention).
+  /// One call represents one benchmark run: the backing-layer jitter is
+  /// sampled once per call, matching the per-run variance in Figure 6.
+  double random_access_extra_ns(std::uint64_t buffer_bytes,
+                                const MemoryProfile& profile, bool hugepages,
+                                sim::Rng& rng) const;
+
+  /// Sequential copy bandwidth in bytes/s for one run.
+  enum class CopyKind { kRegular, kSse2, kStreamCopy };
+  double copy_bandwidth(CopyKind kind, const MemoryProfile& profile,
+                        sim::Rng& rng) const;
+
+  /// Fraction of accesses served by DRAM for a buffer size (exposed for
+  /// tests and for workloads that charge per-access costs).
+  double dram_fraction(std::uint64_t buffer_bytes) const;
+
+  /// TLB miss probability for a buffer size and page size.
+  double tlb_miss_fraction(std::uint64_t buffer_bytes, bool hugepages) const;
+
+  const HierarchySpec& spec() const { return spec_; }
+
+ private:
+  HierarchySpec spec_;
+};
+
+}  // namespace mem

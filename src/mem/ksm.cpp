@@ -1,0 +1,71 @@
+#include "mem/ksm.h"
+
+#include <algorithm>
+
+namespace mem {
+
+void Ksm::advise(std::uint64_t vm_id, std::vector<PageDigest> pages) {
+  remove(vm_id);
+  clients_.push_back(KsmClient{vm_id, std::move(pages)});
+  scanned_ = false;
+}
+
+void Ksm::remove(std::uint64_t vm_id) {
+  clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                [vm_id](const KsmClient& c) {
+                                  return c.vm_id == vm_id;
+                                }),
+                 clients_.end());
+  scanned_ = false;
+}
+
+std::uint64_t Ksm::scan() {
+  const std::uint64_t before = backing_pages();
+  stable_tree_.clear();
+  for (const auto& client : clients_) {
+    for (PageDigest d : client.pages) {
+      ++stable_tree_[d];
+    }
+  }
+  scanned_ = true;
+  const std::uint64_t after = backing_pages();
+  return before > after ? before - after : 0;
+}
+
+std::uint64_t Ksm::advised_pages() const {
+  std::uint64_t total = 0;
+  for (const auto& client : clients_) {
+    total += client.pages.size();
+  }
+  return total;
+}
+
+std::uint64_t Ksm::backing_pages() const {
+  if (!scanned_) {
+    return advised_pages();
+  }
+  return stable_tree_.size();
+}
+
+double Ksm::density_gain() const {
+  const std::uint64_t backing = backing_pages();
+  if (backing == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(advised_pages()) / static_cast<double>(backing);
+}
+
+double Ksm::shared_fraction() const {
+  if (!scanned_ || advised_pages() == 0) {
+    return 0.0;
+  }
+  std::uint64_t shared = 0;
+  for (const auto& [digest, refs] : stable_tree_) {
+    if (refs > 1) {
+      shared += refs;
+    }
+  }
+  return static_cast<double>(shared) / static_cast<double>(advised_pages());
+}
+
+}  // namespace mem

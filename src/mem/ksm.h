@@ -1,0 +1,57 @@
+// Kernel Samepage Merging (KSM) model.
+//
+// Section 3.2 of the paper discusses KSM as a density/performance technique
+// for hypervisor guests that simultaneously weakens the isolation boundary
+// (cross-VM side channels, Irazoqui et al.). This model deduplicates
+// identical pages across registered VMs and reports density gains; the
+// multitenant_density example uses it, and the HAP study counts the ksmd
+// scan functions it triggers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mem {
+
+/// Content hash of a guest page (the model never stores page bytes).
+using PageDigest = std::uint64_t;
+
+/// One registered VM's advised memory range.
+struct KsmClient {
+  std::uint64_t vm_id;
+  std::vector<PageDigest> pages;
+};
+
+class Ksm {
+ public:
+  /// Register (MADV_MERGEABLE) a VM's pages.
+  void advise(std::uint64_t vm_id, std::vector<PageDigest> pages);
+
+  /// Remove a VM (teardown); its contribution to the stable tree is dropped.
+  void remove(std::uint64_t vm_id);
+
+  /// One pass of ksmd: builds the stable tree and merges duplicates.
+  /// Returns the number of pages newly merged in this pass.
+  std::uint64_t scan();
+
+  /// Total pages advised across VMs.
+  std::uint64_t advised_pages() const;
+
+  /// Pages physically backing the advised set after merging.
+  std::uint64_t backing_pages() const;
+
+  /// advised / backing; 1.0 = no sharing.
+  double density_gain() const;
+
+  /// Fraction of advised pages that share backing with at least one other
+  /// VM — pages observable through a KSM timing side channel.
+  double shared_fraction() const;
+
+ private:
+  std::vector<KsmClient> clients_;
+  std::unordered_map<PageDigest, std::uint64_t> stable_tree_;  // digest -> refs
+  bool scanned_ = false;
+};
+
+}  // namespace mem

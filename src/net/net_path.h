@@ -1,0 +1,92 @@
+// Guest<->host network path models.
+//
+// The paper finds that the isolation mechanism on the network path decides
+// throughput and latency (Section 3.4): namespace platforms bridge veth
+// pairs (~9-10% throughput tax), hypervisors run TAP + virtio-net (~25%),
+// gVisor funnels everything through its user-space Netstack (extreme
+// outlier), and OSv's dedicated virtio path under QEMU is nearly native.
+// A NetPath combines an efficiency/latency model with the host syscalls
+// its data plane executes (feeding the HAP study).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hostk/host_kernel.h"
+#include "hostk/nic.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace net {
+
+/// Which architectural datapath carries guest traffic.
+enum class PathKind {
+  kNative,     // host stack directly
+  kBridge,     // veth pair + Linux bridge (Docker, LXC, Kata outer hop)
+  kTapVirtio,  // TAP device + virtio-net (hypervisors)
+  kNetstack,   // gVisor user-space network stack
+};
+
+struct NetPathSpec {
+  std::string name;
+  PathKind kind = PathKind::kNative;
+  /// Fraction of the native iperf3 throughput this path sustains.
+  double throughput_efficiency = 1.0;
+  /// Relative run-to-run stddev of the throughput result.
+  double throughput_jitter = 0.01;
+  /// Extra one-way latency added by the path's hops.
+  sim::Nanos one_way_extra = 0;
+  /// Extra tail latency (p90+) from batching/wakeup effects.
+  sim::Nanos tail_extra = 0;
+  /// CPU cost charged to the sender per packet (used by app workloads).
+  sim::Nanos per_packet_cpu = 400;
+};
+
+/// A concrete guest network attachment.
+class NetPath {
+ public:
+  NetPath(NetPathSpec spec, hostk::HostKernel& host);
+
+  const NetPathSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  /// One iperf3-style run: the achieved steady-state throughput in bits/s
+  /// over the given NIC.
+  double iperf_throughput_bps(const hostk::Nic& nic, sim::Rng& rng) const;
+
+  /// One netperf TCP_RR style round trip with a small payload; returns the
+  /// full RTT including both directions of the path.
+  sim::Nanos round_trip(const hostk::Nic& nic, std::uint32_t payload_bytes,
+                        sim::Rng& rng) const;
+
+  /// Record the host-side syscall/function activity of transferring
+  /// `bytes` through this path (HAP instrumentation; trace-only).
+  void record_traffic(std::uint64_t bytes, const hostk::Nic& nic,
+                      sim::Rng& rng) const;
+
+  /// CPU time the guest-side sender spends pushing `bytes` (packetization
+  /// plus the per-packet datapath cost). Used by Memcached/MySQL models.
+  sim::Nanos sender_cpu_cost(std::uint64_t bytes, const hostk::Nic& nic) const;
+
+ private:
+  NetPathSpec spec_;
+  hostk::HostKernel* host_;
+};
+
+/// The catalog of per-platform network paths, calibrated to Figure 11/12.
+class NetPathCatalog {
+ public:
+  static NetPathSpec native();
+  static NetPathSpec docker_bridge();
+  static NetPathSpec lxc_bridge();
+  static NetPathSpec qemu_tap();
+  static NetPathSpec firecracker_tap();
+  static NetPathSpec cloud_hypervisor_tap();
+  static NetPathSpec kata_bridge_tap();  // bridge + QEMU TAP; weakest link
+  static NetPathSpec gvisor_netstack();
+  static NetPathSpec osv_qemu();
+  static NetPathSpec osv_firecracker();
+};
+
+}  // namespace net

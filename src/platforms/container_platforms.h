@@ -1,0 +1,45 @@
+// Namespace-based container platforms: Docker and LXC (Section 2.2).
+#pragma once
+
+#include "container/runtime.h"
+#include "platforms/platform.h"
+
+namespace platforms {
+
+/// Docker: runc + overlay2 + bridge networking + tini init. Constructed
+/// either through the Docker daemon or by invoking the OCI runtime
+/// directly (Figure 13 plots both).
+class DockerPlatform : public Platform {
+ public:
+  DockerPlatform(core::HostSystem& host, bool via_daemon);
+
+  bool via_daemon() const { return via_daemon_; }
+
+  core::BootTimeline boot_timeline() const override;
+  void record_workload(WorkloadClass w, sim::Rng& rng) override;
+
+ protected:
+  void record_boot_trace(sim::Rng& rng) override;
+
+ private:
+  bool via_daemon_;
+  container::ContainerRuntime runtime_;
+};
+
+/// LXC: "an environment as close as possible to a standard Linux
+/// installation" — full systemd init and a ZFS storage pool.
+class LxcPlatform : public Platform {
+ public:
+  LxcPlatform(core::HostSystem& host, bool unprivileged = false);
+
+  core::BootTimeline boot_timeline() const override;
+  void record_workload(WorkloadClass w, sim::Rng& rng) override;
+
+ protected:
+  void record_boot_trace(sim::Rng& rng) override;
+
+ private:
+  container::ContainerRuntime runtime_;
+};
+
+}  // namespace platforms

@@ -1,0 +1,57 @@
+#include "platforms/factory.h"
+
+#include <stdexcept>
+
+#include "platforms/container_platforms.h"
+#include "platforms/hypervisor_platforms.h"
+#include "platforms/native_platform.h"
+#include "platforms/osv_platform.h"
+#include "platforms/secure_platforms.h"
+
+namespace platforms {
+
+std::unique_ptr<Platform> PlatformFactory::create(PlatformId id,
+                                                  core::HostSystem& host,
+                                                  const FactoryOptions& opts) {
+  switch (id) {
+    case PlatformId::kNative:
+      return std::make_unique<NativePlatform>(host);
+    case PlatformId::kDocker:
+      return std::make_unique<DockerPlatform>(host, opts.via_docker_daemon);
+    case PlatformId::kLxc:
+      return std::make_unique<LxcPlatform>(host);
+    case PlatformId::kQemuKvm:
+      return HypervisorPlatform::qemu(host);
+    case PlatformId::kFirecracker:
+      return HypervisorPlatform::firecracker(host);
+    case PlatformId::kCloudHypervisor:
+      return HypervisorPlatform::cloud_hypervisor(host);
+    case PlatformId::kKataContainers:
+      return std::make_unique<KataPlatform>(host, opts.kata_shared_fs,
+                                            opts.via_docker_daemon);
+    case PlatformId::kGvisor:
+      return std::make_unique<GvisorPlatform>(host, opts.gvisor_platform,
+                                              opts.via_docker_daemon);
+    case PlatformId::kOsvQemu:
+      return std::make_unique<OsvPlatform>(host, OsvHypervisor::kQemu);
+    case PlatformId::kOsvFirecracker:
+      return std::make_unique<OsvPlatform>(host, OsvHypervisor::kFirecracker);
+  }
+  throw std::invalid_argument("PlatformFactory: unknown platform id");
+}
+
+std::vector<std::unique_ptr<Platform>> PlatformFactory::paper_lineup(
+    core::HostSystem& host) {
+  std::vector<std::unique_ptr<Platform>> lineup;
+  for (const PlatformId id :
+       {PlatformId::kNative, PlatformId::kDocker, PlatformId::kLxc,
+        PlatformId::kQemuKvm, PlatformId::kFirecracker,
+        PlatformId::kCloudHypervisor, PlatformId::kKataContainers,
+        PlatformId::kGvisor, PlatformId::kOsvQemu,
+        PlatformId::kOsvFirecracker}) {
+    lineup.push_back(create(id, host));
+  }
+  return lineup;
+}
+
+}  // namespace platforms

@@ -1,0 +1,35 @@
+// PlatformFactory: builds the paper's evaluated configurations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "platforms/platform.h"
+#include "securec/gvisor.h"
+#include "storage/shared_fs.h"
+
+namespace platforms {
+
+/// Options for the configurable platforms.
+struct FactoryOptions {
+  /// Kata shared filesystem (Finding 7's ablation).
+  storage::SharedFsProtocol kata_shared_fs = storage::SharedFsProtocol::kNineP;
+  /// gVisor interception platform (ptrace vs KVM).
+  securec::GvisorPlatform gvisor_platform = securec::GvisorPlatform::kPtrace;
+  /// Route container creation through the Docker daemon (vs direct OCI).
+  bool via_docker_daemon = false;
+};
+
+class PlatformFactory {
+ public:
+  /// Build one platform by id.
+  static std::unique_ptr<Platform> create(PlatformId id, core::HostSystem& host,
+                                          const FactoryOptions& opts = {});
+
+  /// The ten configurations of the paper's performance study, in the
+  /// order the figures list them.
+  static std::vector<std::unique_ptr<Platform>> paper_lineup(
+      core::HostSystem& host);
+};
+
+}  // namespace platforms

@@ -1,0 +1,21 @@
+// The bare-metal baseline: no isolation at all.
+#pragma once
+
+#include "platforms/platform.h"
+
+namespace platforms {
+
+/// Processes run directly on the host kernel. This is the paper's "native"
+/// series: every figure's reference point.
+class NativePlatform : public Platform {
+ public:
+  explicit NativePlatform(core::HostSystem& host);
+
+  core::BootTimeline boot_timeline() const override;
+  void record_workload(WorkloadClass w, sim::Rng& rng) override;
+
+ protected:
+  void record_boot_trace(sim::Rng& rng) override;
+};
+
+}  // namespace platforms

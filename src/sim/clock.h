@@ -1,0 +1,57 @@
+// The virtual clock that every simulated component charges its costs to.
+#pragma once
+
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace sim {
+
+/// Monotonic virtual clock. Components advance it by the cost of the work
+/// they model; experiments read it to convert virtual elapsed time into
+/// reported metrics. The clock never goes backwards.
+class Clock {
+ public:
+  Clock() = default;
+  explicit Clock(Nanos start) : now_(start) {}
+
+  /// Current virtual time since the clock's epoch.
+  Nanos now() const { return now_; }
+
+  /// Charge `cost` virtual nanoseconds. Throws std::invalid_argument on a
+  /// negative cost; a zero cost is allowed (free bookkeeping operations).
+  void advance(Nanos cost) {
+    if (cost < 0) {
+      throw std::invalid_argument("Clock::advance: negative cost");
+    }
+    now_ += cost;
+  }
+
+  /// Jump to an absolute virtual time, used when merging timelines of
+  /// concurrently modeled actors. Throws if `t` is in the past.
+  void advance_to(Nanos t) {
+    if (t < now_) {
+      throw std::invalid_argument("Clock::advance_to: time would go backwards");
+    }
+    now_ = t;
+  }
+
+  /// Reset to the epoch. Only experiments (not components) should call this.
+  void reset() { now_ = 0; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+/// RAII helper that measures the virtual time spent in a scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Clock& clock) : clock_(clock), start_(clock.now()) {}
+  Nanos elapsed() const { return clock_.now() - start_; }
+
+ private:
+  const Clock& clock_;
+  Nanos start_;
+};
+
+}  // namespace sim

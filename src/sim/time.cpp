@@ -1,0 +1,23 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sim {
+
+std::string format_duration(Nanos n) {
+  char buf[64];
+  const double abs_n = std::abs(static_cast<double>(n));
+  if (abs_n >= kNanosPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", to_seconds(n));
+  } else if (abs_n >= kNanosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", to_millis(n));
+  } else if (abs_n >= kNanosPerMicro) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", to_micros(n));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(n));
+  }
+  return buf;
+}
+
+}  // namespace sim

@@ -1,0 +1,76 @@
+#include "stats/sample_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stats {
+
+SampleSet::SampleSet(std::vector<double> values) : values_(std::move(values)) {}
+
+void SampleSet::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  if (values_.empty()) {
+    throw std::logic_error("SampleSet::percentile: empty sample set");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("SampleSet::percentile: p out of [0,100]");
+  }
+  ensure_sorted();
+  if (sorted_.size() == 1) {
+    return sorted_.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+Summary SampleSet::summary() const {
+  Summary s;
+  for (double v : values_) {
+    s.add(v);
+  }
+  return s;
+}
+
+std::vector<CdfPoint> SampleSet::cdf(std::size_t max_points) const {
+  ensure_sorted();
+  std::vector<CdfPoint> points;
+  if (sorted_.empty() || max_points == 0) {
+    return points;
+  }
+  const std::size_t n = sorted_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    points.push_back({sorted_[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (points.back().fraction < 1.0) {
+    points.push_back({sorted_.back(), 1.0});
+  }
+  return points;
+}
+
+double SampleSet::fraction_below(double x) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+}  // namespace stats

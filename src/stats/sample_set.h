@@ -1,0 +1,59 @@
+// Retained-sample statistics: percentiles and empirical CDFs.
+//
+// The paper reports mean +- stddev bar charts for most figures, p90 for the
+// netperf latency figure, and CDFs over 300 startups for the boot figures.
+// SampleSet supports all three from one container.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace stats {
+
+/// A point on an empirical CDF: (value, cumulative fraction in [0,1]).
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+
+/// Collects raw observations and serves order statistics.
+class SampleSet {
+ public:
+  SampleSet() = default;
+  explicit SampleSet(std::vector<double> values);
+
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Linear-interpolated percentile, p in [0, 100]. Throws when empty or
+  /// p is out of range.
+  double percentile(double p) const;
+
+  double median() const { return percentile(50.0); }
+
+  /// Streaming summary over the same observations.
+  Summary summary() const;
+
+  /// Empirical CDF with at most `max_points` points (down-sampled evenly;
+  /// always includes the minimum and maximum observation).
+  std::vector<CdfPoint> cdf(std::size_t max_points = 100) const;
+
+  /// Fraction of samples <= x.
+  double fraction_below(double x) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace stats

@@ -1,0 +1,68 @@
+#include "storage/shared_fs.h"
+
+#include <algorithm>
+
+#include "sim/distribution.h"
+
+namespace storage {
+
+std::string shared_fs_name(SharedFsProtocol p) {
+  switch (p) {
+    case SharedFsProtocol::kNone:
+      return "none";
+    case SharedFsProtocol::kNineP:
+      return "9p";
+    case SharedFsProtocol::kVirtioFs:
+      return "virtio-fs";
+  }
+  return "unknown";
+}
+
+SharedFs::SharedFs(SharedFsProtocol protocol, std::uint64_t msize,
+                   sim::Nanos rt_latency, double rt_sigma, double bandwidth_cap)
+    : protocol_(protocol),
+      msize_(msize),
+      rt_latency_(rt_latency),
+      rt_sigma_(rt_sigma),
+      bandwidth_cap_(bandwidth_cap) {}
+
+SharedFs SharedFs::make(SharedFsProtocol protocol) {
+  switch (protocol) {
+    case SharedFsProtocol::kNineP:
+      // msize 256 KiB, synchronous round trips over virtio/vsock; the
+      // protocol predates co-located host/guest and waits on every message,
+      // and payload bytes are copied through the transport.
+      return SharedFs(protocol, 256ull << 10, sim::micros(85), 0.25, 4.0e9);
+    case SharedFsProtocol::kVirtioFs:
+      // FUSE over virtio with DAX: requests carry scatter-gather lists and
+      // data pages are *mapped*, not copied — effectively no payload copy.
+      return SharedFs(protocol, 1ull << 20, sim::micros(9), 0.15, 1.0e12);
+    case SharedFsProtocol::kNone:
+    default:
+      return SharedFs(protocol, 1ull << 30, 0, 0.0, 1e18);
+  }
+}
+
+std::uint64_t SharedFs::round_trips(std::uint64_t bytes) const {
+  if (protocol_ == SharedFsProtocol::kNone) {
+    return 0;
+  }
+  return std::max<std::uint64_t>(1, (bytes + msize_ - 1) / msize_);
+}
+
+sim::Nanos SharedFs::op_latency(std::uint64_t bytes, sim::Rng& rng) const {
+  if (protocol_ == SharedFsProtocol::kNone) {
+    return 0;
+  }
+  const std::uint64_t trips = round_trips(bytes);
+  const auto dist = sim::DurationDist::lognormal(rt_latency_, rt_sigma_);
+  sim::Nanos total = 0;
+  for (std::uint64_t i = 0; i < trips; ++i) {
+    total += dist.sample(rng);
+  }
+  // Payload transfer bounded by the protocol's copy bandwidth.
+  total += sim::seconds(static_cast<double>(bytes) / bandwidth_cap_);
+  return total;
+}
+
+}  // namespace storage

@@ -1,0 +1,68 @@
+#include "vmm/vm_memory.h"
+
+namespace vmm {
+
+MemoryBacking MemoryBackingCatalog::host_native() {
+  return {.name = "host-native", .profile = {}};
+}
+
+MemoryBacking MemoryBackingCatalog::qemu_mmap() {
+  mem::MemoryProfile p;
+  p.ept = true;
+  p.bandwidth_factor = 0.88;
+  return {.name = "qemu-mmap", .profile = p};
+}
+
+MemoryBacking MemoryBackingCatalog::vm_memory_crate_firecracker() {
+  mem::MemoryProfile p;
+  p.ept = true;
+  p.backing_extra_ns = 26.0;
+  p.backing_jitter = 0.45;
+  p.bandwidth_factor = 0.78;
+  return {.name = "vm-memory(firecracker)", .profile = p};
+}
+
+MemoryBacking MemoryBackingCatalog::vm_memory_crate_cloud_hypervisor() {
+  mem::MemoryProfile p;
+  p.ept = true;
+  p.backing_extra_ns = 13.0;
+  p.backing_jitter = 0.22;
+  p.bandwidth_factor = 0.965;
+  return {.name = "vm-memory(cloud-hypervisor)", .profile = p};
+}
+
+MemoryBacking MemoryBackingCatalog::kata_nvdimm_direct() {
+  mem::MemoryProfile p;
+  p.ept = true;
+  p.ept_walk_factor = 1.35;  // DAX mapping keeps walks short and hot
+  p.bandwidth_factor = 0.99;
+  p.hugepage_support = false;  // the paper: Kata does not support HugePages
+  return {.name = "kata-nvdimm-direct", .profile = p};
+}
+
+MemoryBacking MemoryBackingCatalog::osv_on_qemu() {
+  mem::MemoryProfile p;
+  p.ept = true;
+  p.ept_walk_factor = 1.5;  // single address space, huge mappings
+  p.bandwidth_factor = 0.985;
+  return {.name = "osv-on-qemu", .profile = p};
+}
+
+MemoryBacking MemoryBackingCatalog::osv_on_firecracker() {
+  mem::MemoryProfile p;
+  p.ept = true;
+  p.backing_extra_ns = 24.0;
+  p.backing_jitter = 0.40;
+  p.bandwidth_factor = 0.80;
+  return {.name = "osv-on-firecracker", .profile = p};
+}
+
+MemoryBacking MemoryBackingCatalog::gvisor_sentry() {
+  mem::MemoryProfile p;
+  // Sentry memory is ordinary process memory; mm-heavy syscalls are slow
+  // but raw access latency/bandwidth are native.
+  p.bandwidth_factor = 0.99;
+  return {.name = "gvisor-sentry", .profile = p};
+}
+
+}  // namespace vmm

@@ -1,0 +1,55 @@
+// Guest-memory backing models (the vm-memory crate and its alternatives).
+//
+// Section 3.2 attributes the memory-latency outliers to how each VMM backs
+// and translates guest memory: Firecracker and Cloud Hypervisor share the
+// hypervisor-agnostic `vm-memory` Rust crate (Finding 4), QEMU mmap()s
+// guest RAM directly, and Kata's NVDIMM device maps a host file straight
+// into the guest, bypassing the virtualized layer entirely (Finding 3).
+#pragma once
+
+#include <string>
+
+#include "mem/hierarchy.h"
+
+namespace vmm {
+
+/// A named guest-memory backing with its performance fingerprint.
+struct MemoryBacking {
+  std::string name;
+  mem::MemoryProfile profile;
+};
+
+/// Catalog calibrated against Figures 6-8.
+class MemoryBackingCatalog {
+ public:
+  /// Plain host virtual memory; no virtualization (native, containers).
+  static MemoryBacking host_native();
+
+  /// QEMU: mmap()-backed guest RAM. Throughput dips (extra indirection in
+  /// the DIMM emulation), latency close to native.
+  static MemoryBacking qemu_mmap();
+
+  /// Firecracker's vm-memory crate usage: the paper's worst case — higher
+  /// average latency *and* much higher run-to-run variance, plus reduced
+  /// copy bandwidth.
+  static MemoryBacking vm_memory_crate_firecracker();
+
+  /// Cloud Hypervisor's vm-memory usage: elevated latency (weaker than
+  /// Firecracker's), throughput essentially fine.
+  static MemoryBacking vm_memory_crate_cloud_hypervisor();
+
+  /// Kata via QEMU NVDIMM: direct file mapping between host and guest;
+  /// near-native on both axes, but no HugePages support.
+  static MemoryBacking kata_nvdimm_direct();
+
+  /// OSv under QEMU: near-native (Finding 5).
+  static MemoryBacking osv_on_qemu();
+
+  /// OSv under Firecracker: inherits the vm-memory penalty (Finding 5).
+  static MemoryBacking osv_on_firecracker();
+
+  /// gVisor: guest memory is ordinary Sentry process memory.
+  static MemoryBacking gvisor_sentry();
+};
+
+}  // namespace vmm

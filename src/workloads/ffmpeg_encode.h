@@ -1,0 +1,43 @@
+// ffmpeg H.264 -> H.265 re-encode model (Figure 5).
+//
+// The paper's CPU-bound macro-benchmark: a 30 MB 1080p video re-encoded
+// with the `slower` preset on 16 threads. Per-frame work is SIMD-heavy
+// (motion estimation, DCT) and the frame pipeline is scheduled across
+// worker threads — which is exactly where OSv's custom scheduler loses
+// (Finding 1): most platforms land around 65 s, OSv far above.
+#pragma once
+
+#include <cstdint>
+
+#include "platforms/platform.h"
+#include "sim/clock.h"
+
+namespace workloads {
+
+struct FfmpegSpec {
+  std::uint32_t frames = 14'315;           // ~10 min at 23.98 fps
+  double per_frame_core_ms = 68.5;         // preset `slower` cost per frame
+  int threads = 16;
+  std::uint64_t input_bytes = 30ull << 20; // loaded into memory up front
+};
+
+struct FfmpegResult {
+  sim::Nanos elapsed = 0;
+  double fps = 0.0;
+};
+
+/// Runs the frame pipeline against a platform's CPU profile.
+class FfmpegEncode {
+ public:
+  explicit FfmpegEncode(FfmpegSpec spec = {});
+
+  FfmpegResult run(platforms::Platform& platform, sim::Clock& clock,
+                   sim::Rng& rng) const;
+
+  const FfmpegSpec& spec() const { return spec_; }
+
+ private:
+  FfmpegSpec spec_;
+};
+
+}  // namespace workloads

@@ -1,0 +1,52 @@
+// iperf3 and netperf network benchmarks (Figures 11 & 12).
+#pragma once
+
+#include <cstdint>
+
+#include "platforms/platform.h"
+#include "sim/clock.h"
+#include "stats/sample_set.h"
+
+namespace workloads {
+
+struct Iperf3Result {
+  double max_gbps = 0.0;   // paper reports the max over runs
+  double mean_gbps = 0.0;
+  stats::SampleSet runs_gbps;
+};
+
+/// iperf3: the host acts as client against a server in the guest; reports
+/// the maximum achievable throughput over an IP connection.
+class Iperf3 {
+ public:
+  explicit Iperf3(int runs = 5, sim::Nanos run_duration = sim::seconds(10));
+
+  Iperf3Result run(platforms::Platform& platform, sim::Clock& clock,
+                   sim::Rng& rng) const;
+
+ private:
+  int runs_;
+  sim::Nanos run_duration_;
+};
+
+struct NetperfResult {
+  double p50_us = 0.0;
+  double p90_us = 0.0;  // the paper's Figure 12 metric
+  double p99_us = 0.0;
+  stats::SampleSet rtts_us;
+};
+
+/// netperf TCP_RR: request/response latency with a small payload.
+class Netperf {
+ public:
+  explicit Netperf(int transactions = 2'000, std::uint32_t payload = 128);
+
+  NetperfResult run(platforms::Platform& platform, sim::Clock& clock,
+                    sim::Rng& rng) const;
+
+ private:
+  int transactions_;
+  std::uint32_t payload_;
+};
+
+}  // namespace workloads

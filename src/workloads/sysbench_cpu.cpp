@@ -1,0 +1,38 @@
+#include "workloads/sysbench_cpu.h"
+
+namespace workloads {
+
+SysbenchCpu::SysbenchCpu(std::uint64_t max_prime) : max_prime_(max_prime) {}
+
+SysbenchCpuResult SysbenchCpu::run(platforms::Platform& platform,
+                                   sim::Clock& clock, sim::Rng& rng) const {
+  SysbenchCpuResult result;
+  std::uint64_t divisions = 0;
+  // The sysbench kernel: for each candidate c in [3, max], trial-divide by
+  // odd numbers up to sqrt(c).
+  for (std::uint64_t c = 3; c <= max_prime_; ++c) {
+    bool prime = true;
+    for (std::uint64_t d = 2; d * d <= c; ++d) {
+      ++divisions;
+      if (c % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    result.primes_found += prime;
+    ++result.candidates_checked;
+  }
+  // Charge virtual time: ~1.9 ns per division (div + loop overhead on the
+  // EPYC2), scaled by the platform's scalar factor (1.0 everywhere —
+  // that IS Finding 1) plus benchmark noise.
+  const double per_div_ns = 1.9 * platform.cpu_profile().scalar_factor *
+                            (1.0 + rng.normal(0.0, 0.01));
+  result.elapsed =
+      static_cast<sim::Nanos>(static_cast<double>(divisions) * per_div_ns);
+  clock.advance(result.elapsed);
+  result.events_per_second = static_cast<double>(result.candidates_checked) /
+                             sim::to_seconds(result.elapsed);
+  return result;
+}
+
+}  // namespace workloads

@@ -1,0 +1,37 @@
+// Sysbench CPU benchmark: prime verification (Section 3.1).
+//
+// A real trial-division primality workload. Finding 1: every platform,
+// including OSv, performs nearly equivalently here — hardware-assisted
+// virtualization executes guest code natively, so the only cost is the
+// arithmetic itself.
+#pragma once
+
+#include <cstdint>
+
+#include "platforms/platform.h"
+#include "sim/clock.h"
+
+namespace workloads {
+
+struct SysbenchCpuResult {
+  std::uint64_t primes_found = 0;
+  std::uint64_t candidates_checked = 0;
+  sim::Nanos elapsed = 0;
+  double events_per_second = 0.0;
+};
+
+/// Single-threaded prime verification up to `limit` (sysbench's
+/// --cpu-max-prime). The divisions are actually executed; virtual time is
+/// charged per arithmetic operation through the platform's scalar factor.
+class SysbenchCpu {
+ public:
+  explicit SysbenchCpu(std::uint64_t max_prime = 20'000);
+
+  SysbenchCpuResult run(platforms::Platform& platform, sim::Clock& clock,
+                        sim::Rng& rng) const;
+
+ private:
+  std::uint64_t max_prime_;
+};
+
+}  // namespace workloads

@@ -1,0 +1,46 @@
+#include "workloads/tinymembench.h"
+
+#include <algorithm>
+
+namespace workloads {
+
+std::vector<LatencyPoint> TinyMemBench::latency_sweep(
+    platforms::Platform& platform, sim::Rng& rng, bool hugepages, int min_log,
+    int max_log) const {
+  std::vector<LatencyPoint> points;
+  auto& hierarchy = platform.host().memory();
+  const auto& profile = platform.memory_profile();
+  for (int n = min_log; n <= max_log; ++n) {
+    const std::uint64_t buffer = 1ull << n;
+    points.push_back(LatencyPoint{
+        buffer,
+        hierarchy.random_access_extra_ns(buffer, profile, hugepages, rng)});
+  }
+  return points;
+}
+
+BandwidthResult TinyMemBench::bandwidth(platforms::Platform& platform,
+                                        sim::Rng& rng) const {
+  auto& hierarchy = platform.host().memory();
+  const auto& profile = platform.memory_profile();
+  return BandwidthResult{
+      hierarchy.copy_bandwidth(mem::MemoryHierarchy::CopyKind::kRegular,
+                               profile, rng),
+      hierarchy.copy_bandwidth(mem::MemoryHierarchy::CopyKind::kSse2, profile,
+                               rng)};
+}
+
+double StreamBench::copy_bandwidth(platforms::Platform& platform, sim::Rng& rng,
+                                   int inner_runs) const {
+  auto& hierarchy = platform.host().memory();
+  const auto& profile = platform.memory_profile();
+  double best = 0.0;
+  for (int i = 0; i < inner_runs; ++i) {
+    best = std::max(
+        best, hierarchy.copy_bandwidth(
+                  mem::MemoryHierarchy::CopyKind::kStreamCopy, profile, rng));
+  }
+  return best;
+}
+
+}  // namespace workloads

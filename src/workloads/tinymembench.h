@@ -1,0 +1,48 @@
+// Tinymembench: memory latency and bandwidth microbenchmarks (Figs 6 & 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platforms/platform.h"
+#include "sim/clock.h"
+
+namespace workloads {
+
+struct LatencyPoint {
+  std::uint64_t buffer_bytes;
+  double extra_ns;  // over the L1 latency, tinymembench's convention
+};
+
+struct BandwidthResult {
+  double regular_bytes_per_sec;
+  double sse2_bytes_per_sec;
+};
+
+/// Random-access latency sweep and sequential copy bandwidth, evaluated
+/// against the platform's memory profile.
+class TinyMemBench {
+ public:
+  /// One latency run over buffers 2^min_log .. 2^max_log (paper: 16..26).
+  std::vector<LatencyPoint> latency_sweep(platforms::Platform& platform,
+                                          sim::Rng& rng, bool hugepages = false,
+                                          int min_log = 16,
+                                          int max_log = 26) const;
+
+  /// One bandwidth run (regular + SSE2 copies).
+  BandwidthResult bandwidth(platforms::Platform& platform, sim::Rng& rng) const;
+};
+
+/// STREAM COPY (Figure 8): a[i] = b[i] over a 2.2 GiB allocation,
+/// 16 bytes transferred per iteration, no floating point.
+class StreamBench {
+ public:
+  static constexpr std::uint64_t kTotalBytes = 2'362'232'012;  // 2.2 GiB
+
+  /// Best-of-`inner_runs` COPY bandwidth (the paper reports the average
+  /// of per-run maxima).
+  double copy_bandwidth(platforms::Platform& platform, sim::Rng& rng,
+                        int inner_runs = 10) const;
+};
+
+}  // namespace workloads

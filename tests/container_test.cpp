@@ -1,0 +1,177 @@
+// Tests for the container building blocks: namespaces, cgroups, init
+// systems, storage drivers, OSv application constraints, and the KSM
+// density model's interaction with cgroup limits.
+#include <gtest/gtest.h>
+
+#include "container/cgroups.h"
+#include "container/init_system.h"
+#include "container/namespaces.h"
+#include "container/runtime.h"
+#include "hostk/host_kernel.h"
+#include "stats/summary.h"
+#include "unikernel/osv.h"
+
+namespace {
+
+using container::Cgroup;
+using container::CgroupLimits;
+using container::CgroupVersion;
+using container::InitKind;
+using container::NamespaceKind;
+using container::NamespaceSet;
+
+struct Fixture : public ::testing::Test {
+  hostk::HostKernel kernel;
+  sim::Rng rng{911};
+};
+
+TEST_F(Fixture, RuncDefaultNamespaces) {
+  const auto ns = NamespaceSet::runc_default();
+  EXPECT_EQ(ns.size(), 6u);
+  EXPECT_TRUE(ns.contains(NamespaceKind::kPid));
+  EXPECT_TRUE(ns.contains(NamespaceKind::kNet));
+  EXPECT_TRUE(ns.contains(NamespaceKind::kMnt));
+  // Rootful runc does not unshare the user namespace by default.
+  EXPECT_FALSE(ns.contains(NamespaceKind::kUser));
+}
+
+TEST_F(Fixture, LxcUnprivilegedAddsUserNamespace) {
+  const auto ns = NamespaceSet::lxc_unprivileged();
+  EXPECT_TRUE(ns.contains(NamespaceKind::kUser));
+  EXPECT_EQ(ns.size(), 7u);
+}
+
+TEST_F(Fixture, NetworkNamespaceDominatesSetupCost) {
+  const auto timeline = NamespaceSet::runc_default().setup_timeline();
+  sim::Nanos net_cost = 0, other_max = 0;
+  for (const auto& stage : timeline.stages()) {
+    if (stage.name == "ns:net") {
+      net_cost = stage.duration.mean();
+    } else {
+      other_max = std::max(other_max, stage.duration.mean());
+    }
+  }
+  EXPECT_GT(net_cost, other_max * 5);
+}
+
+TEST_F(Fixture, NamespaceSetupTracesUnshareAndMounts) {
+  kernel.ftrace().start();
+  NamespaceSet::runc_default().record_setup(kernel, rng);
+  const auto& reg = kernel.registry();
+  EXPECT_GT(kernel.ftrace().count_of(reg.id_of("unshare_nsproxy_namespaces")),
+            0u);
+  EXPECT_GT(kernel.ftrace().count_of(reg.id_of("pivot_root")), 0u);
+  EXPECT_GT(kernel.ftrace().count_of(reg.id_of("setup_net")), 0u);
+}
+
+TEST_F(Fixture, CgroupControllerWritesMatchLimits) {
+  Cgroup full("/c1", CgroupVersion::kV2,
+              CgroupLimits{.cpu_shares = 512.0, .memory_max = 1ull << 30,
+                           .pids_max = 100, .io_weight = 50.0});
+  EXPECT_EQ(full.controller_writes(), 4u);
+  Cgroup sparse("/c2", CgroupVersion::kV2, CgroupLimits{});
+  EXPECT_EQ(sparse.controller_writes(), 0u);
+}
+
+TEST_F(Fixture, CgroupV2SetupCheaperThanV1) {
+  const CgroupLimits limits{.cpu_shares = 512.0, .memory_max = 1ull << 30,
+                            .pids_max = {}, .io_weight = {}};
+  Cgroup v1("/a", CgroupVersion::kV1, limits);
+  Cgroup v2("/b", CgroupVersion::kV2, limits);
+  EXPECT_LT(v2.setup_timeline().mean_total(), v1.setup_timeline().mean_total());
+}
+
+TEST_F(Fixture, CgroupMemoryChargeEnforcesLimit) {
+  Cgroup cg("/m", CgroupVersion::kV2,
+            CgroupLimits{.cpu_shares = {}, .memory_max = 1000,
+                         .pids_max = {}, .io_weight = {}});
+  EXPECT_TRUE(cg.try_charge_memory(600));
+  EXPECT_TRUE(cg.try_charge_memory(400));
+  EXPECT_FALSE(cg.try_charge_memory(1));  // OOM boundary
+  EXPECT_EQ(cg.memory_charged(), 1000u);
+}
+
+TEST_F(Fixture, UnlimitedCgroupAcceptsAnyCharge) {
+  Cgroup cg("/u", CgroupVersion::kV2, CgroupLimits{});
+  EXPECT_TRUE(cg.try_charge_memory(1ull << 40));
+}
+
+TEST_F(Fixture, InitSystemOrdering) {
+  const auto mean_ms = [](InitKind k) {
+    return sim::to_millis(container::init_system_timeline(k).mean_total());
+  };
+  EXPECT_LT(mean_ms(InitKind::kPatchedExit), mean_ms(InitKind::kTini));
+  EXPECT_LT(mean_ms(InitKind::kTini), mean_ms(InitKind::kSystemdMini));
+  EXPECT_LT(mean_ms(InitKind::kSystemdMini), mean_ms(InitKind::kSystemd));
+}
+
+TEST_F(Fixture, ShutdownOverheadSmall) {
+  // Finding 16: process-termination overhead is 1-2% of end-to-end.
+  for (const auto kind : {InitKind::kTini, InitKind::kSystemd,
+                          InitKind::kSystemdMini, InitKind::kPatchedExit}) {
+    EXPECT_LT(container::init_system_shutdown(kind).mean(), sim::millis(12));
+  }
+}
+
+TEST_F(Fixture, StorageDriverNames) {
+  EXPECT_EQ(container::storage_driver_name(container::StorageDriver::kZfs),
+            "zfs");
+  EXPECT_EQ(container::storage_driver_name(container::StorageDriver::kOverlay2),
+            "overlay2");
+}
+
+TEST_F(Fixture, LxcUsesZfsAndSystemd) {
+  const auto spec = container::RuntimeCatalog::lxc();
+  EXPECT_EQ(spec.storage, container::StorageDriver::kZfs);
+  EXPECT_EQ(spec.init, InitKind::kSystemd);
+  const auto docker = container::RuntimeCatalog::runc_oci();
+  EXPECT_EQ(docker.storage, container::StorageDriver::kOverlay2);
+  EXPECT_EQ(docker.init, InitKind::kTini);
+}
+
+TEST_F(Fixture, UnprivilegedLxcUsesCgroupsV2) {
+  // Section 2.2.2: LXC runs unprivileged containers on the newer v2.
+  const auto spec = container::RuntimeCatalog::lxc_unprivileged();
+  EXPECT_EQ(spec.cgroup_version, CgroupVersion::kV2);
+  EXPECT_TRUE(spec.namespaces.contains(NamespaceKind::kUser));
+}
+
+// --- OSv constraints (Section 2.4.1) ---------------------------------------
+
+TEST(OsvConstraintTest, LinkerValidatesImages) {
+  const unikernel::ElfLinker linker;
+  EXPECT_EQ(linker.load({.name = "redis"}), unikernel::LoadResult::kOk);
+  EXPECT_EQ(linker.load({.name = "nginx", .uses_fork = true}),
+            unikernel::LoadResult::kRequiresFork);
+  EXPECT_EQ(linker.load({.name = "static", .position_independent = false}),
+            unikernel::LoadResult::kNotRelocatable);
+}
+
+TEST(OsvConstraintTest, SyscallIsJustAFunctionCall) {
+  const unikernel::ElfLinker linker;
+  hostk::HostKernel kernel;
+  sim::Rng rng(3);
+  stats::Summary call;
+  for (int i = 0; i < 500; ++i) {
+    call.add(static_cast<double>(linker.call_cost(rng)));
+  }
+  // Far below a real user->kernel mode switch (~250ns+).
+  EXPECT_LT(call.mean(), 100.0);
+}
+
+TEST(OsvConstraintTest, SchedulerPenaltyGrowsWithThreads) {
+  const unikernel::OsvScheduler sched;
+  EXPECT_NEAR(sched.multithread_penalty(1), 1.0, 1e-9);
+  EXPECT_GT(sched.multithread_penalty(16), 1.3);
+  EXPECT_GT(sched.multithread_penalty(64), sched.multithread_penalty(16));
+}
+
+TEST(OsvConstraintTest, LinkTimeScalesWithBinarySize) {
+  const unikernel::ElfLinker linker;
+  const auto small = linker.link_timeline({.name = "s", .binary_bytes = 1 << 20});
+  const auto large =
+      linker.link_timeline({.name = "l", .binary_bytes = 256ull << 20});
+  EXPECT_GT(large.mean_total(), small.mean_total() * 5);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Reproducibility guarantees: every figure is a pure function of its seed.
+#include <gtest/gtest.h>
+
+#include "core/figures.h"
+
+namespace {
+
+TEST(DeterminismTest, Figure5SameSeedSameResult) {
+  const auto a = core::figure5_ffmpeg(3, 42);
+  const auto b = core::figure5_ffmpeg(3, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].platform, b[i].platform);
+    EXPECT_DOUBLE_EQ(a[i].mean, b[i].mean);
+    EXPECT_DOUBLE_EQ(a[i].stddev, b[i].stddev);
+  }
+}
+
+TEST(DeterminismTest, Figure5DifferentSeedDifferentNoise) {
+  const auto a = core::figure5_ffmpeg(3, 1);
+  const auto b = core::figure5_ffmpeg(3, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].mean != b[i].mean;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DeterminismTest, Figure11SameSeedSameResult) {
+  const auto a = core::figure11_iperf3(5, 7);
+  const auto b = core::figure11_iperf3(5, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean, b[i].mean);
+  }
+}
+
+TEST(DeterminismTest, Figure13SameSeedSameCdf) {
+  const auto a = core::figure13_container_boot(50, 9);
+  const auto b = core::figure13_container_boot(50, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].samples_ms.percentile(50),
+                     b[i].samples_ms.percentile(50));
+    EXPECT_DOUBLE_EQ(a[i].samples_ms.percentile(99),
+                     b[i].samples_ms.percentile(99));
+  }
+}
+
+TEST(DeterminismTest, Figure17SameSeedSameCurves) {
+  const auto a = core::figure17_mysql_oltp(1, 5);
+  const auto b = core::figure17_mysql_oltp(1, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].y.size(), b[i].y.size());
+    for (std::size_t j = 0; j < a[i].y.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i].y[j], b[i].y[j]);
+    }
+  }
+}
+
+TEST(DeterminismTest, HapIsSeedIndependentInBreadth) {
+  // Breadth (which functions are hit) is architectural, not stochastic:
+  // different seeds must produce identical distinct-function counts.
+  const auto a = core::figure18_hap(1);
+  const auto b = core::figure18_hap(2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].distinct_functions, b[i].distinct_functions)
+        << a[i].platform;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Tests for CSV export of figure results (core/export).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/export.h"
+
+namespace {
+
+class ExportFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "isoplat_export_test";
+    std::filesystem::create_directories(dir_);
+    setenv("ISOPLAT_RESULTS_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    unsetenv("ISOPLAT_RESULTS_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ExportFixture, DisabledWithoutEnvVar) {
+  unsetenv("ISOPLAT_RESULTS_DIR");
+  EXPECT_FALSE(core::results_dir_from_env().has_value());
+  EXPECT_FALSE(core::export_bars("x", {}, "ms").has_value());
+}
+
+TEST_F(ExportFixture, EnvVarEnablesExport) {
+  ASSERT_TRUE(core::results_dir_from_env().has_value());
+  EXPECT_EQ(*core::results_dir_from_env(), dir_.string());
+}
+
+TEST_F(ExportFixture, BarsRoundTrip) {
+  std::vector<core::Bar> bars = {
+      {"native", 100.5, 2.5, false, ""},
+      {"firecracker", 0.0, 0.0, true, "no extra disk"},
+  };
+  const auto path = core::export_bars("test_bars", bars, "ms");
+  ASSERT_TRUE(path.has_value());
+  const std::string csv = read_file(*path);
+  EXPECT_NE(csv.find("platform,mean_ms,stddev,excluded,reason"),
+            std::string::npos);
+  EXPECT_NE(csv.find("native,100.5"), std::string::npos);
+  EXPECT_NE(csv.find("firecracker"), std::string::npos);
+  EXPECT_NE(csv.find("no extra disk"), std::string::npos);
+}
+
+TEST_F(ExportFixture, CdfsContainMonotonicFractions) {
+  core::CdfSeries series;
+  series.platform = "docker";
+  for (int i = 1; i <= 50; ++i) {
+    series.samples_ms.add(static_cast<double>(i));
+  }
+  const auto path = core::export_cdfs("test_cdf", {series});
+  ASSERT_TRUE(path.has_value());
+  const std::string csv = read_file(*path);
+  EXPECT_NE(csv.find("platform,value_ms,fraction"), std::string::npos);
+  EXPECT_NE(csv.find("docker,"), std::string::npos);
+}
+
+TEST_F(ExportFixture, CurvesContainAllPoints) {
+  core::Curve curve;
+  curve.platform = "qemu";
+  curve.x = {10, 20};
+  curve.y = {1.5, 2.5};
+  curve.yerr = {0.1, 0.2};
+  const auto path = core::export_curves("test_curve", {curve}, "threads", "tps");
+  ASSERT_TRUE(path.has_value());
+  const std::string csv = read_file(*path);
+  EXPECT_NE(csv.find("threads"), std::string::npos);
+  EXPECT_NE(csv.find("qemu,10.00,1.5000,0.1000"), std::string::npos);
+  EXPECT_NE(csv.find("qemu,20.00,2.5000,0.2000"), std::string::npos);
+}
+
+TEST_F(ExportFixture, HapExportsScores) {
+  hap::HapScore score;
+  score.platform = "osv";
+  score.distinct_functions = 88;
+  score.total_invocations = 1000;
+  score.hap_breadth = 88;
+  score.extended_hap = 10.16;
+  const auto path = core::export_hap("test_hap", {score});
+  ASSERT_TRUE(path.has_value());
+  const std::string csv = read_file(*path);
+  EXPECT_NE(csv.find("osv,88,1000,88.0,10.1600"), std::string::npos);
+}
+
+}  // namespace

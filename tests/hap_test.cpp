@@ -1,0 +1,175 @@
+// Tests for the HAP study: EPSS model properties and the Section 4
+// findings (24-28) over the full platform lineup.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/host_system.h"
+#include "hap/epss.h"
+#include "hap/hap.h"
+#include "platforms/factory.h"
+
+namespace {
+
+using hap::EpssModel;
+using hap::HapExperiment;
+using platforms::PlatformFactory;
+using platforms::PlatformId;
+
+TEST(EpssTest, ScoresAreBoundedProbabilities) {
+  EpssModel epss;
+  hostk::KernelFunctionRegistry registry;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const double s = epss.score(registry.function(static_cast<hostk::FunctionId>(i)));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(EpssTest, Deterministic) {
+  EpssModel epss;
+  hostk::KernelFunctionRegistry registry;
+  const auto& fn = registry.function(registry.id_of("tcp_sendmsg"));
+  EXPECT_DOUBLE_EQ(epss.score(fn), epss.score(fn));
+}
+
+TEST(EpssTest, NetworkFunctionsScoreAboveTimekeeping) {
+  EpssModel epss;
+  hostk::KernelFunctionRegistry registry;
+  double net_sum = 0.0, time_sum = 0.0;
+  const auto net_fns = registry.functions_in(hostk::Subsystem::kNet);
+  const auto time_fns = registry.functions_in(hostk::Subsystem::kTime);
+  for (const auto id : net_fns) {
+    net_sum += epss.score(registry.function(id));
+  }
+  for (const auto id : time_fns) {
+    time_sum += epss.score(registry.function(id));
+  }
+  EXPECT_GT(net_sum / static_cast<double>(net_fns.size()),
+            time_sum / static_cast<double>(time_fns.size()));
+}
+
+struct HapFixture : public ::testing::Test {
+  core::HostSystem host;
+  sim::Rng rng{404};
+  HapExperiment experiment;
+
+  std::map<PlatformId, hap::HapScore> measure(std::initializer_list<PlatformId> ids) {
+    std::map<PlatformId, hap::HapScore> scores;
+    for (const auto id : ids) {
+      auto p = PlatformFactory::create(id, host);
+      scores[id] = experiment.measure(*p, rng);
+    }
+    return scores;
+  }
+};
+
+TEST_F(HapFixture, Finding24_FirecrackerWidestInterface) {
+  const auto scores =
+      measure({PlatformId::kFirecracker, PlatformId::kQemuKvm,
+               PlatformId::kCloudHypervisor, PlatformId::kDocker,
+               PlatformId::kKataContainers, PlatformId::kGvisor,
+               PlatformId::kOsvQemu, PlatformId::kLxc});
+  const auto& fc = scores.at(PlatformId::kFirecracker);
+  for (const auto& [id, score] : scores) {
+    if (id != PlatformId::kFirecracker) {
+      EXPECT_GT(fc.distinct_functions, score.distinct_functions)
+          << score.platform;
+    }
+  }
+}
+
+TEST_F(HapFixture, Finding25_CloudHypervisorVeryFew) {
+  const auto scores = measure({PlatformId::kCloudHypervisor,
+                               PlatformId::kQemuKvm, PlatformId::kFirecracker,
+                               PlatformId::kDocker});
+  const auto& ch = scores.at(PlatformId::kCloudHypervisor);
+  EXPECT_LT(ch.distinct_functions,
+            scores.at(PlatformId::kQemuKvm).distinct_functions / 2);
+  EXPECT_LT(ch.distinct_functions,
+            scores.at(PlatformId::kDocker).distinct_functions);
+}
+
+TEST_F(HapFixture, Finding26_SecureContainersHigh) {
+  const auto scores =
+      measure({PlatformId::kGvisor, PlatformId::kKataContainers,
+               PlatformId::kDocker, PlatformId::kLxc});
+  EXPECT_GT(scores.at(PlatformId::kGvisor).distinct_functions,
+            scores.at(PlatformId::kDocker).distinct_functions);
+  EXPECT_GT(scores.at(PlatformId::kKataContainers).distinct_functions,
+            scores.at(PlatformId::kLxc).distinct_functions);
+}
+
+TEST_F(HapFixture, Finding27_OsvSparingHostUse) {
+  const auto scores = measure({PlatformId::kOsvQemu, PlatformId::kQemuKvm,
+                               PlatformId::kDocker, PlatformId::kLxc,
+                               PlatformId::kCloudHypervisor});
+  const auto& osv = scores.at(PlatformId::kOsvQemu);
+  for (const auto& [id, score] : scores) {
+    if (id != PlatformId::kOsvQemu) {
+      EXPECT_LE(osv.distinct_functions, score.distinct_functions)
+          << score.platform;
+    }
+  }
+}
+
+TEST_F(HapFixture, Conclusion8_ContainersCloselyFollowOsv) {
+  const auto scores = measure({PlatformId::kOsvQemu, PlatformId::kDocker,
+                               PlatformId::kFirecracker});
+  const double osv = static_cast<double>(
+      scores.at(PlatformId::kOsvQemu).distinct_functions);
+  const double docker = static_cast<double>(
+      scores.at(PlatformId::kDocker).distinct_functions);
+  const double fc = static_cast<double>(
+      scores.at(PlatformId::kFirecracker).distinct_functions);
+  // Containers are much closer to OSv than to the top of the range.
+  EXPECT_LT(docker - osv, fc - docker + (docker - osv));
+  EXPECT_LT(docker, fc * 0.8);
+}
+
+TEST_F(HapFixture, ExtendedHapTracksBreadthButWeighs) {
+  auto fc = PlatformFactory::create(PlatformId::kFirecracker, host);
+  auto osv = PlatformFactory::create(PlatformId::kOsvQemu, host);
+  const auto fc_score = experiment.measure(*fc, rng);
+  const auto osv_score = experiment.measure(*osv, rng);
+  EXPECT_GT(fc_score.extended_hap, osv_score.extended_hap);
+  // Extended scores are sums of per-function probabilities: bounded by
+  // breadth and positive.
+  EXPECT_LT(fc_score.extended_hap,
+            static_cast<double>(fc_score.distinct_functions));
+  EXPECT_GT(osv_score.extended_hap, 0.0);
+}
+
+TEST_F(HapFixture, SubsystemBreakdownSumsToTotal) {
+  auto qemu = PlatformFactory::create(PlatformId::kQemuKvm, host);
+  const auto score = experiment.measure(*qemu, rng);
+  std::size_t total = 0;
+  for (const auto& [subsystem, count] : score.by_subsystem) {
+    total += count;
+  }
+  EXPECT_EQ(total, score.distinct_functions);
+}
+
+TEST_F(HapFixture, KvmSubsystemOnlyForVirtualizedPlatforms) {
+  auto docker = PlatformFactory::create(PlatformId::kDocker, host);
+  auto qemu = PlatformFactory::create(PlatformId::kQemuKvm, host);
+  const auto d = experiment.measure(*docker, rng);
+  const auto q = experiment.measure(*qemu, rng);
+  const auto docker_kvm = d.by_subsystem.find(hostk::Subsystem::kKvm);
+  EXPECT_TRUE(docker_kvm == d.by_subsystem.end() || docker_kvm->second == 0);
+  EXPECT_GT(q.by_subsystem.at(hostk::Subsystem::kKvm), 10u);
+}
+
+TEST_F(HapFixture, MeasurementIsRepeatable) {
+  auto p1 = PlatformFactory::create(PlatformId::kDocker, host);
+  sim::Rng r1(7), r2(7);
+  const auto a = experiment.measure(*p1, r1);
+  const auto b = experiment.measure(*p1, r2);
+  EXPECT_EQ(a.distinct_functions, b.distinct_functions);
+  EXPECT_EQ(a.total_invocations, b.total_invocations);
+  // Summation order over the trace's hash map may differ run-to-run;
+  // the value itself is deterministic to floating-point accumulation.
+  EXPECT_NEAR(a.extended_hap, b.extended_hap, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,213 @@
+// Tests for the memory-hierarchy and KSM models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/hierarchy.h"
+#include "mem/ksm.h"
+#include "sim/rng.h"
+#include "stats/summary.h"
+
+namespace {
+
+using mem::HierarchySpec;
+using mem::Ksm;
+using mem::MemoryHierarchy;
+using mem::MemoryProfile;
+
+MemoryProfile native_profile() { return {}; }
+
+MemoryProfile firecracker_profile() {
+  MemoryProfile p;
+  p.ept = true;
+  p.backing_extra_ns = 26.0;
+  p.backing_jitter = 0.45;
+  p.bandwidth_factor = 0.78;
+  return p;
+}
+
+double mean_latency(const MemoryHierarchy& h, std::uint64_t buffer,
+                    const MemoryProfile& p, bool hugepages, int runs = 50) {
+  sim::Rng rng(42);
+  stats::Summary s;
+  for (int i = 0; i < runs; ++i) {
+    s.add(h.random_access_extra_ns(buffer, p, hugepages, rng));
+  }
+  return s.mean();
+}
+
+TEST(HierarchyTest, LatencyMonotonicInBufferSize) {
+  MemoryHierarchy h;
+  const auto p = native_profile();
+  double prev = -1.0;
+  for (int n = 16; n <= 26; ++n) {
+    const double lat = mean_latency(h, 1ull << n, p, false);
+    EXPECT_GE(lat, prev) << "buffer 2^" << n;
+    prev = lat;
+  }
+}
+
+// Property sweep: monotonicity holds for every platform profile.
+class HierarchyMonotonicity
+    : public ::testing::TestWithParam<std::tuple<bool, double, bool>> {};
+
+TEST_P(HierarchyMonotonicity, LatencyNonDecreasing) {
+  const auto [ept, backing, hugepages] = GetParam();
+  MemoryProfile p;
+  p.ept = ept;
+  p.backing_extra_ns = backing;
+  MemoryHierarchy h;
+  double prev = -1.0;
+  for (int n = 16; n <= 26; ++n) {
+    const double lat = mean_latency(h, 1ull << n, p, hugepages);
+    EXPECT_GE(lat, prev - 0.5);  // allow sub-noise wiggle
+    prev = lat;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, HierarchyMonotonicity,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(0.0, 15.0, 30.0),
+                       ::testing::Bool()));
+
+TEST(HierarchyTest, SmallBufferIsNearZeroExtra) {
+  MemoryHierarchy h;
+  // 2^14 fits in L1: extra over L1 should be ~0.
+  EXPECT_LT(mean_latency(h, 1 << 14, native_profile(), false), 1.0);
+}
+
+TEST(HierarchyTest, EptIncreasesLargeBufferLatency) {
+  MemoryHierarchy h;
+  MemoryProfile ept;
+  ept.ept = true;
+  const double native = mean_latency(h, 1ull << 26, native_profile(), false);
+  const double virt = mean_latency(h, 1ull << 26, ept, false);
+  EXPECT_GT(virt, native * 1.05);
+}
+
+TEST(HierarchyTest, FirecrackerWorstLatencyAndVariance) {
+  MemoryHierarchy h;
+  sim::Rng rng(7);
+  stats::Summary fc, native;
+  for (int i = 0; i < 200; ++i) {
+    fc.add(h.random_access_extra_ns(1ull << 26, firecracker_profile(), false, rng));
+    native.add(h.random_access_extra_ns(1ull << 26, native_profile(), false, rng));
+  }
+  EXPECT_GT(fc.mean(), native.mean() * 1.2);
+  EXPECT_GT(fc.stddev(), native.stddev() * 1.5);
+}
+
+TEST(HierarchyTest, HugePagesRelieveLargeBuffers) {
+  MemoryHierarchy h;
+  const auto p = native_profile();
+  const double regular = mean_latency(h, 1ull << 26, p, false);
+  const double huge = mean_latency(h, 1ull << 26, p, true);
+  // Paper: ~30% lower access latency in the larger buffers.
+  EXPECT_LT(huge, regular * 0.85);
+}
+
+TEST(HierarchyTest, HugePageUnsupportedPlatformSeesNoRelief) {
+  MemoryHierarchy h;
+  MemoryProfile kata_no_huge;           // Kata does not support HugePages
+  kata_no_huge.hugepage_support = false;
+  const double regular = mean_latency(h, 1ull << 26, kata_no_huge, false);
+  const double requested_huge = mean_latency(h, 1ull << 26, kata_no_huge, true);
+  EXPECT_NEAR(requested_huge / regular, 1.0, 0.05);
+}
+
+TEST(HierarchyTest, TlbMissFractionBounds) {
+  MemoryHierarchy h;
+  EXPECT_DOUBLE_EQ(h.tlb_miss_fraction(0, false), 0.0);
+  EXPECT_DOUBLE_EQ(h.tlb_miss_fraction(1 << 16, false), 0.0);  // covered
+  EXPECT_GT(h.tlb_miss_fraction(1ull << 26, false), 0.85);
+  EXPECT_DOUBLE_EQ(h.tlb_miss_fraction(1ull << 26, true), 0.0);  // 2M pages
+}
+
+TEST(HierarchyTest, DramFractionBounds) {
+  MemoryHierarchy h;
+  EXPECT_DOUBLE_EQ(h.dram_fraction(1 << 16), 0.0);
+  EXPECT_GT(h.dram_fraction(1ull << 30), 0.97);
+  EXPECT_LE(h.dram_fraction(1ull << 30), 1.0);
+}
+
+TEST(HierarchyTest, BandwidthFactorScalesThroughput) {
+  MemoryHierarchy h;
+  sim::Rng rng(11);
+  stats::Summary native_bw, fc_bw;
+  for (int i = 0; i < 100; ++i) {
+    native_bw.add(h.copy_bandwidth(MemoryHierarchy::CopyKind::kRegular,
+                                   native_profile(), rng));
+    fc_bw.add(h.copy_bandwidth(MemoryHierarchy::CopyKind::kRegular,
+                               firecracker_profile(), rng));
+  }
+  EXPECT_NEAR(fc_bw.mean() / native_bw.mean(), 0.78, 0.03);
+}
+
+TEST(HierarchyTest, Sse2FasterThanRegularCopy) {
+  MemoryHierarchy h;
+  sim::Rng rng(13);
+  const auto p = native_profile();
+  stats::Summary reg, sse;
+  for (int i = 0; i < 100; ++i) {
+    reg.add(h.copy_bandwidth(MemoryHierarchy::CopyKind::kRegular, p, rng));
+    sse.add(h.copy_bandwidth(MemoryHierarchy::CopyKind::kSse2, p, rng));
+  }
+  EXPECT_GT(sse.mean(), reg.mean());
+}
+
+TEST(KsmTest, NoSharingWithoutScan) {
+  Ksm ksm;
+  ksm.advise(1, {1, 2, 3});
+  EXPECT_EQ(ksm.backing_pages(), 3u);
+  EXPECT_DOUBLE_EQ(ksm.density_gain(), 1.0);
+}
+
+TEST(KsmTest, IdenticalVmsMergeFully) {
+  Ksm ksm;
+  ksm.advise(1, {10, 20, 30});
+  ksm.advise(2, {10, 20, 30});
+  const auto merged = ksm.scan();
+  EXPECT_EQ(merged, 3u);
+  EXPECT_EQ(ksm.advised_pages(), 6u);
+  EXPECT_EQ(ksm.backing_pages(), 3u);
+  EXPECT_DOUBLE_EQ(ksm.density_gain(), 2.0);
+  EXPECT_DOUBLE_EQ(ksm.shared_fraction(), 1.0);
+}
+
+TEST(KsmTest, DisjointVmsShareNothing) {
+  Ksm ksm;
+  ksm.advise(1, {1, 2});
+  ksm.advise(2, {3, 4});
+  ksm.scan();
+  EXPECT_EQ(ksm.backing_pages(), 4u);
+  EXPECT_DOUBLE_EQ(ksm.shared_fraction(), 0.0);
+}
+
+TEST(KsmTest, RemoveVmRestoresIsolation) {
+  Ksm ksm;
+  ksm.advise(1, {10, 20});
+  ksm.advise(2, {10, 20});
+  ksm.scan();
+  ksm.remove(2);
+  ksm.scan();
+  EXPECT_EQ(ksm.advised_pages(), 2u);
+  EXPECT_DOUBLE_EQ(ksm.shared_fraction(), 0.0);
+}
+
+TEST(KsmTest, ReAdviseReplacesPages) {
+  Ksm ksm;
+  ksm.advise(1, {1, 2, 3});
+  ksm.advise(1, {4});
+  EXPECT_EQ(ksm.advised_pages(), 1u);
+}
+
+TEST(KsmTest, PartialOverlap) {
+  Ksm ksm;
+  ksm.advise(1, {1, 2, 3, 4});
+  ksm.advise(2, {3, 4, 5, 6});
+  ksm.scan();
+  EXPECT_EQ(ksm.backing_pages(), 6u);
+  EXPECT_DOUBLE_EQ(ksm.shared_fraction(), 0.5);
+}
+
+}  // namespace

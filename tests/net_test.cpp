@@ -1,0 +1,185 @@
+// Tests for the network-path models (Figures 11 & 12 building blocks).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hostk/host_kernel.h"
+#include "hostk/nic.h"
+#include "net/net_path.h"
+#include "sim/rng.h"
+#include "stats/sample_set.h"
+#include "stats/summary.h"
+
+namespace {
+
+using net::NetPath;
+using net::NetPathCatalog;
+using net::NetPathSpec;
+
+struct Fixture {
+  hostk::HostKernel kernel;
+  hostk::Nic nic;
+  sim::Rng rng{101};
+};
+
+double mean_gbps(const NetPathSpec& spec, Fixture& f, int runs = 30) {
+  NetPath path(spec, f.kernel);
+  stats::Summary s;
+  for (int i = 0; i < runs; ++i) {
+    s.add(path.iperf_throughput_bps(f.nic, f.rng) / 1e9);
+  }
+  return s.mean();
+}
+
+TEST(NetPathTest, NativeMatchesPaperBaseline) {
+  Fixture f;
+  // Paper: native mean 37.28 Gbit/s.
+  EXPECT_NEAR(mean_gbps(NetPathCatalog::native(), f), 37.28, 0.8);
+}
+
+TEST(NetPathTest, OsvQemuSecondBest) {
+  Fixture f;
+  const double osv = mean_gbps(NetPathCatalog::osv_qemu(), f);
+  const double native = mean_gbps(NetPathCatalog::native(), f);
+  EXPECT_NEAR(osv, 36.36, 0.8);
+  EXPECT_LT(osv, native);
+}
+
+TEST(NetPathTest, QemuVsOsvGap) {
+  Fixture f;
+  const double osv = mean_gbps(NetPathCatalog::osv_qemu(), f);
+  const double qemu = mean_gbps(NetPathCatalog::qemu_tap(), f);
+  // Paper: OSv outperforms plain QEMU by 25.7%.
+  EXPECT_NEAR(osv / qemu, 1.257, 0.05);
+}
+
+TEST(NetPathTest, OsvFirecrackerSmallGap) {
+  Fixture f;
+  const double osv_fc = mean_gbps(NetPathCatalog::osv_firecracker(), f);
+  const double fc = mean_gbps(NetPathCatalog::firecracker_tap(), f);
+  // Paper: only a 6.53% increase.
+  EXPECT_NEAR(osv_fc / fc, 1.0653, 0.03);
+}
+
+TEST(NetPathTest, BridgePenaltyAroundTenPercent) {
+  Fixture f;
+  const double native = mean_gbps(NetPathCatalog::native(), f);
+  const double docker = mean_gbps(NetPathCatalog::docker_bridge(), f);
+  const double lxc = mean_gbps(NetPathCatalog::lxc_bridge(), f);
+  EXPECT_NEAR(1.0 - docker / native, 0.0984, 0.02);
+  EXPECT_NEAR(1.0 - lxc / native, 0.0919, 0.02);
+}
+
+TEST(NetPathTest, HypervisorPenaltyAroundQuarter) {
+  Fixture f;
+  const double native = mean_gbps(NetPathCatalog::native(), f);
+  for (const auto& spec :
+       {NetPathCatalog::qemu_tap(), NetPathCatalog::firecracker_tap()}) {
+    const double hv = mean_gbps(spec, f);
+    EXPECT_NEAR(1.0 - hv / native, 0.25, 0.05) << spec.name;
+  }
+}
+
+TEST(NetPathTest, CloudHypervisorBelowQemu) {
+  Fixture f;
+  EXPECT_LT(mean_gbps(NetPathCatalog::cloud_hypervisor_tap(), f),
+            mean_gbps(NetPathCatalog::qemu_tap(), f) * 0.93);
+}
+
+TEST(NetPathTest, KataEqualsWeakestLinkQemu) {
+  Fixture f;
+  const double kata = mean_gbps(NetPathCatalog::kata_bridge_tap(), f);
+  const double qemu = mean_gbps(NetPathCatalog::qemu_tap(), f);
+  EXPECT_NEAR(kata / qemu, 1.0, 0.05);
+}
+
+TEST(NetPathTest, GvisorExtremeOutlier) {
+  Fixture f;
+  const double gv = mean_gbps(NetPathCatalog::gvisor_netstack(), f);
+  EXPECT_LT(gv, 5.0);  // single-digit Gbit/s
+}
+
+stats::SampleSet rtt_samples(const NetPathSpec& spec, Fixture& f, int n = 400) {
+  NetPath path(spec, f.kernel);
+  stats::SampleSet s;
+  for (int i = 0; i < n; ++i) {
+    s.add(sim::to_micros(path.round_trip(f.nic, 128, f.rng)));
+  }
+  return s;
+}
+
+TEST(NetPathTest, BridgesHaveLowestP90) {
+  Fixture f;
+  const double docker_p90 = rtt_samples(NetPathCatalog::docker_bridge(), f).percentile(90);
+  const double qemu_p90 = rtt_samples(NetPathCatalog::qemu_tap(), f).percentile(90);
+  EXPECT_LT(docker_p90, qemu_p90);
+}
+
+TEST(NetPathTest, KataLatencyNearBridges) {
+  Fixture f;
+  const double kata_p90 = rtt_samples(NetPathCatalog::kata_bridge_tap(), f).percentile(90);
+  const double qemu_p90 = rtt_samples(NetPathCatalog::qemu_tap(), f).percentile(90);
+  EXPECT_LT(kata_p90, qemu_p90);
+}
+
+TEST(NetPathTest, GvisorP90ThreeToFourTimesCompetitors) {
+  Fixture f;
+  const double gv = rtt_samples(NetPathCatalog::gvisor_netstack(), f).percentile(90);
+  const double docker = rtt_samples(NetPathCatalog::docker_bridge(), f).percentile(90);
+  EXPECT_GT(gv / docker, 2.5);
+  EXPECT_LT(gv / docker, 6.0);
+}
+
+TEST(NetPathTest, OsvSlightlyBetterLatencyThanHypervisors) {
+  Fixture f;
+  const double osv = rtt_samples(NetPathCatalog::osv_qemu(), f).percentile(90);
+  const double qemu = rtt_samples(NetPathCatalog::qemu_tap(), f).percentile(90);
+  EXPECT_LT(osv, qemu);
+}
+
+TEST(NetPathTest, TrafficRecordingRequiresTracing) {
+  Fixture f;
+  NetPath path(NetPathCatalog::docker_bridge(), f.kernel);
+  path.record_traffic(1 << 20, f.nic, f.rng);
+  EXPECT_EQ(f.kernel.ftrace().distinct_functions(), 0u);
+}
+
+TEST(NetPathTest, BridgeTrafficHitsBridgeFunctions) {
+  Fixture f;
+  NetPath path(NetPathCatalog::docker_bridge(), f.kernel);
+  f.kernel.ftrace().start();
+  path.record_traffic(1 << 20, f.nic, f.rng);
+  const auto& reg = f.kernel.registry();
+  EXPECT_GT(f.kernel.ftrace().count_of(reg.id_of("br_handle_frame")), 0u);
+  EXPECT_GT(f.kernel.ftrace().count_of(reg.id_of("veth_xmit")), 0u);
+}
+
+TEST(NetPathTest, TapTrafficHitsVhostAndIoeventfd) {
+  Fixture f;
+  NetPath path(NetPathCatalog::qemu_tap(), f.kernel);
+  f.kernel.ftrace().start();
+  path.record_traffic(1 << 20, f.nic, f.rng);
+  const auto& reg = f.kernel.registry();
+  EXPECT_GT(f.kernel.ftrace().count_of(reg.id_of("vhost_net_tx")), 0u);
+  EXPECT_GT(f.kernel.ftrace().count_of(reg.id_of("ioeventfd_write")), 0u);
+}
+
+TEST(NetPathTest, NetstackTrafficUsesPlainReadWrite) {
+  Fixture f;
+  NetPath path(NetPathCatalog::gvisor_netstack(), f.kernel);
+  f.kernel.ftrace().start();
+  path.record_traffic(1 << 20, f.nic, f.rng);
+  const auto& reg = f.kernel.registry();
+  EXPECT_GT(f.kernel.ftrace().count_of(reg.id_of("vfs_read")), 0u);
+  // Netstack terminates TCP in user space: no host TCP functions.
+  EXPECT_EQ(f.kernel.ftrace().count_of(reg.id_of("tcp_sendmsg")), 0u);
+}
+
+TEST(NetPathTest, SenderCpuCostScalesWithBytes) {
+  Fixture f;
+  NetPath path(NetPathCatalog::native(), f.kernel);
+  EXPECT_GT(path.sender_cpu_cost(1 << 20, f.nic),
+            path.sender_cpu_cost(1 << 10, f.nic));
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Tests for the stats module: summaries, percentiles, CDFs, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/sample_set.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace {
+
+using stats::SampleSet;
+using stats::Summary;
+using stats::Table;
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, MeanAndStddev) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, MergeMatchesSequential) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10 + i;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  Summary a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  Summary c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(SummaryTest, CoefficientOfVariation) {
+  Summary s;
+  s.add(9.0);
+  s.add(11.0);
+  EXPECT_NEAR(s.cv(), std::sqrt(2.0) / 10.0, 1e-12);
+}
+
+TEST(SampleSetTest, PercentileInterpolates) {
+  SampleSet s({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(SampleSetTest, PercentileSingleElement) {
+  SampleSet s({42.0});
+  EXPECT_DOUBLE_EQ(s.percentile(90), 42.0);
+}
+
+TEST(SampleSetTest, PercentileErrors) {
+  SampleSet empty;
+  EXPECT_THROW(empty.percentile(50), std::logic_error);
+  SampleSet s({1.0});
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(SampleSetTest, AddInvalidatesSortCache) {
+  SampleSet s({5.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+}
+
+TEST(SampleSetTest, CdfIsMonotonic) {
+  SampleSet s;
+  for (int i = 100; i > 0; --i) {
+    s.add(static_cast<double>(i % 17));
+  }
+  const auto cdf = s.cdf(20);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(SampleSetTest, FractionBelow) {
+  SampleSet s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_below(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_below(10.0), 1.0);
+}
+
+TEST(SampleSetTest, SummaryMatchesValues) {
+  SampleSet s({1.0, 2.0, 3.0});
+  const auto sum = s.summary();
+  EXPECT_EQ(sum.count(), 3u);
+  EXPECT_DOUBLE_EQ(sum.mean(), 2.0);
+}
+
+TEST(TableTest, TextRenderingAligns) {
+  Table t({"platform", "ms"});
+  t.add_row({"docker", "101.5"});
+  t.add_row({"kata-containers", "612.0"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("platform"), std::string::npos);
+  EXPECT_NE(text.find("kata-containers"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::mean_pm_std(10.0, 1.5, 1), "10.0 +- 1.5");
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the workload implementations (Sections 3.1-3.5 generators).
+#include <gtest/gtest.h>
+
+#include "core/host_system.h"
+#include "platforms/factory.h"
+#include "workloads/ffmpeg_encode.h"
+#include "workloads/fio.h"
+#include "workloads/netbench.h"
+#include "workloads/sysbench_cpu.h"
+#include "workloads/tinymembench.h"
+
+namespace {
+
+using platforms::PlatformFactory;
+using platforms::PlatformId;
+
+struct Fixture : public ::testing::Test {
+  core::HostSystem host;
+  sim::Rng rng{321};
+};
+
+TEST_F(Fixture, SysbenchFindsCorrectPrimeCount) {
+  const workloads::SysbenchCpu bench(100);
+  auto native = PlatformFactory::create(PlatformId::kNative, host);
+  sim::Clock clock;
+  const auto result = bench.run(*native, clock, rng);
+  // Primes in [3, 100]: 24 of them (25 primes <= 100, minus 2).
+  EXPECT_EQ(result.primes_found, 24u);
+  EXPECT_EQ(result.candidates_checked, 98u);
+  EXPECT_GT(clock.now(), 0);
+}
+
+TEST_F(Fixture, SysbenchParityAcrossPlatforms) {
+  // Finding 1: every platform performs nearly equivalently.
+  const workloads::SysbenchCpu bench(5'000);
+  double min_eps = 1e18, max_eps = 0;
+  for (auto& p : PlatformFactory::paper_lineup(host)) {
+    sim::Clock clock;
+    const double eps = bench.run(*p, clock, rng).events_per_second;
+    min_eps = std::min(min_eps, eps);
+    max_eps = std::max(max_eps, eps);
+  }
+  EXPECT_LT(max_eps / min_eps, 1.05);
+}
+
+TEST_F(Fixture, FfmpegMostPlatformsNear65s) {
+  const workloads::FfmpegEncode bench;
+  for (const auto id : {PlatformId::kNative, PlatformId::kDocker,
+                        PlatformId::kQemuKvm, PlatformId::kKataContainers}) {
+    auto p = PlatformFactory::create(id, host);
+    sim::Clock clock;
+    const auto result = bench.run(*p, clock, rng);
+    EXPECT_NEAR(sim::to_millis(result.elapsed), 65'000, 5'000) << p->name();
+  }
+}
+
+TEST_F(Fixture, FfmpegOsvSevereOutlier) {
+  const workloads::FfmpegEncode bench;
+  auto native = PlatformFactory::create(PlatformId::kNative, host);
+  auto osv = PlatformFactory::create(PlatformId::kOsvQemu, host);
+  sim::Clock c1, c2;
+  const auto n = bench.run(*native, c1, rng);
+  const auto o = bench.run(*osv, c2, rng);
+  EXPECT_GT(sim::to_millis(o.elapsed), sim::to_millis(n.elapsed) * 1.3);
+}
+
+TEST_F(Fixture, FfmpegFpsConsistentWithElapsed) {
+  const workloads::FfmpegEncode bench;
+  auto native = PlatformFactory::create(PlatformId::kNative, host);
+  sim::Clock clock;
+  const auto result = bench.run(*native, clock, rng);
+  EXPECT_NEAR(result.fps * sim::to_seconds(result.elapsed),
+              bench.spec().frames, 1.0);
+}
+
+TEST_F(Fixture, TinyMemLatencySweepCoversPaperRange) {
+  const workloads::TinyMemBench bench;
+  auto native = PlatformFactory::create(PlatformId::kNative, host);
+  const auto points = bench.latency_sweep(*native, rng);
+  ASSERT_EQ(points.size(), 11u);  // 2^16 .. 2^26
+  EXPECT_EQ(points.front().buffer_bytes, 1ull << 16);
+  EXPECT_EQ(points.back().buffer_bytes, 1ull << 26);
+}
+
+TEST_F(Fixture, FioUnsupportedPlatformsReportReason) {
+  const workloads::Fio bench(
+      workloads::Fio::figure9_throughput(workloads::FioMode::kSeqRead));
+  auto fc = PlatformFactory::create(PlatformId::kFirecracker, host);
+  sim::Clock clock;
+  const auto fc_result = bench.run(*fc, clock, rng);
+  EXPECT_FALSE(fc_result.supported);
+  EXPECT_FALSE(fc_result.exclusion_reason.empty());
+
+  auto osv = PlatformFactory::create(PlatformId::kOsvQemu, host);
+  const auto osv_result = bench.run(*osv, clock, rng);
+  EXPECT_FALSE(osv_result.supported);
+}
+
+TEST_F(Fixture, FioReadFasterThanWriteOnNative) {
+  auto native = PlatformFactory::create(PlatformId::kNative, host);
+  sim::Clock clock;
+  const workloads::Fio read_bench(
+      workloads::Fio::figure9_throughput(workloads::FioMode::kSeqRead));
+  const workloads::Fio write_bench(
+      workloads::Fio::figure9_throughput(workloads::FioMode::kSeqWrite));
+  const auto r = read_bench.run(*native, clock, rng);
+  const auto w = write_bench.run(*native, clock, rng);
+  EXPECT_GT(r.throughput_bytes_per_sec, w.throughput_bytes_per_sec);
+}
+
+TEST_F(Fixture, FioRandreadLatencyAboveSequentialPerRequest) {
+  auto native = PlatformFactory::create(PlatformId::kNative, host);
+  sim::Clock clock;
+  const workloads::Fio rand_bench(workloads::Fio::figure10_randread());
+  const auto result = rand_bench.run(*native, clock, rng);
+  ASSERT_TRUE(result.supported);
+  // 4k randread at QD1 pays the full device base latency (~78 us).
+  EXPECT_NEAR(result.latencies_us.summary().mean(), 79.0, 8.0);
+}
+
+TEST_F(Fixture, FioAdvancesClock) {
+  auto native = PlatformFactory::create(PlatformId::kNative, host);
+  sim::Clock clock;
+  const workloads::Fio bench(
+      workloads::Fio::figure9_throughput(workloads::FioMode::kSeqRead));
+  bench.run(*native, clock, rng);
+  EXPECT_GT(clock.now(), 0);
+}
+
+TEST_F(Fixture, Iperf3MaxAtLeastMean) {
+  const workloads::Iperf3 bench;
+  auto docker = PlatformFactory::create(PlatformId::kDocker, host);
+  sim::Clock clock;
+  const auto result = bench.run(*docker, clock, rng);
+  EXPECT_GE(result.max_gbps, result.mean_gbps);
+  EXPECT_EQ(result.runs_gbps.size(), 5u);
+}
+
+TEST_F(Fixture, NetperfPercentilesOrdered) {
+  const workloads::Netperf bench(500);
+  auto qemu = PlatformFactory::create(PlatformId::kQemuKvm, host);
+  sim::Clock clock;
+  const auto result = bench.run(*qemu, clock, rng);
+  EXPECT_LE(result.p50_us, result.p90_us);
+  EXPECT_LE(result.p90_us, result.p99_us);
+  EXPECT_GT(result.p50_us, 0.0);
+}
+
+// Parameterized sweep: fio block sizes scale throughput sensibly.
+class FioBlockSize : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FioBlockSize, ThroughputGrowsWithBlockSize) {
+  core::HostSystem host;
+  sim::Rng rng(17);
+  auto native = PlatformFactory::create(PlatformId::kNative, host);
+  workloads::FioSpec small_spec;
+  small_spec.block_bytes = 4 << 10;
+  workloads::FioSpec large_spec;
+  large_spec.block_bytes = GetParam();
+  sim::Clock clock;
+  const auto small = workloads::Fio(small_spec).run(*native, clock, rng);
+  host.drop_caches();
+  const auto large = workloads::Fio(large_spec).run(*native, clock, rng);
+  EXPECT_GT(large.throughput_bytes_per_sec, small.throughput_bytes_per_sec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FioBlockSize,
+                         ::testing::Values(64 << 10, 128 << 10, 512 << 10,
+                                           1 << 20));
+
+}  // namespace
