@@ -1,0 +1,70 @@
+// Fleet scenario harness: the consolidation questions the per-figure
+// benches cannot ask.
+//
+// Runs the three built-in scenarios — a 64-tenant serverless cold-start
+// storm across four platform types, a density sweep that packs hypervisor
+// tenants until the host runs out of RAM (with and without KSM), and a
+// steady-state mixed-platform fleet — each against a fresh HostSystem so
+// output is byte-identical for identical seeds.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/export.h"
+#include "core/host_system.h"
+#include "fleet/engine.h"
+#include "fleet/scenario.h"
+
+namespace {
+
+fleet::FleetReport run_fresh(const fleet::Scenario& scenario) {
+  core::HostSystem host;  // fresh host: cold page cache, pristine ftrace
+  fleet::FleetEngine engine(host);
+  return engine.run(scenario);
+}
+
+void print_report(const fleet::FleetReport& report) {
+  std::printf("%s\n\n", report.to_text().c_str());
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "fleet scenarios",
+      "Multi-tenant consolidation on one shared host: cold-start storm,\n"
+      "density sweep to first OOM, and a steady-state mixed fleet.");
+
+  // --- 1. Serverless cold-start storm -------------------------------------
+  const auto storm = fleet::Scenario::coldstart_storm(64);
+  const auto storm_report = run_fresh(storm);
+  std::printf("--- %s: %d tenants, arrivals within %.0f ms ---\n",
+              storm.name.c_str(), storm.tenant_count,
+              sim::to_millis(storm.arrival_window));
+  print_report(storm_report);
+  benchutil::note_export(
+      core::export_cdfs("fleet_coldstart_storm", storm_report.boot_cdfs()));
+
+  // --- 2. Density sweep to first OOM --------------------------------------
+  auto sweep = fleet::Scenario::density_sweep(256);
+  // Arrivals must outpace teardowns or the wall is never reached: early
+  // tenants would free their RAM before the ramp ends.
+  sweep.arrival_window = sim::millis(250);
+  const auto with_ksm = run_fresh(sweep);
+  sweep.enable_ksm = false;
+  const auto without_ksm = run_fresh(sweep);
+  std::printf("--- %s: pack %s/%s guests until RAM runs out ---\n",
+              sweep.name.c_str(), "qemu-kvm", "firecracker");
+  std::printf("admitted with KSM    : %d tenants (density gain %.2fx)\n",
+              with_ksm.admitted, with_ksm.ksm.density_gain);
+  std::printf("admitted without KSM : %d tenants\n\n", without_ksm.admitted);
+  print_report(with_ksm);
+
+  // --- 3. Steady-state mixed-platform fleet --------------------------------
+  const auto mix = fleet::Scenario::steady_state_mix(48);
+  const auto mix_report = run_fresh(mix);
+  std::printf("--- %s: Poisson arrivals, all workload classes ---\n",
+              mix.name.c_str());
+  print_report(mix_report);
+
+  return 0;
+}

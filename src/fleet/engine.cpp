@@ -1,0 +1,476 @@
+#include "fleet/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleet {
+
+namespace {
+
+using platforms::PlatformId;
+using platforms::WorkloadClass;
+
+/// KSM granularity for fleet guest RAM: 2 MiB (THP-sized) units keep the
+/// stable tree small enough to rescan on every admission decision.
+constexpr std::uint64_t kFleetPageBytes = 2ull << 20;
+
+/// Fraction of a guest's RAM that stays untouched (zero pages) and merges
+/// across every tenant once KSM scans it.
+constexpr double kZeroPageFraction = 0.35;
+
+/// vCPUs a tenant demands while booting / per workload class.
+constexpr double kBootVcpus = 2.0;
+
+double workload_vcpus(WorkloadClass w) {
+  switch (w) {
+    case WorkloadClass::kCpu:
+      return 2.0;
+    case WorkloadClass::kMemory:
+      return 1.0;
+    case WorkloadClass::kIo:
+    case WorkloadClass::kNetwork:
+      return 0.5;
+    case WorkloadClass::kStartup:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+/// Host RSS of the virtualization layer itself (device model, Sentry, ...).
+std::uint64_t platform_overhead_bytes(PlatformId id) {
+  switch (id) {
+    case PlatformId::kQemuKvm:
+      return 192ull << 20;
+    case PlatformId::kKataContainers:
+      return 160ull << 20;
+    case PlatformId::kCloudHypervisor:
+      return 48ull << 20;
+    case PlatformId::kFirecracker:
+      return 32ull << 20;
+    case PlatformId::kOsvQemu:
+      return 96ull << 20;
+    case PlatformId::kOsvFirecracker:
+      return 24ull << 20;
+    case PlatformId::kGvisor:
+      return 64ull << 20;
+    case PlatformId::kNative:
+    case PlatformId::kDocker:
+    case PlatformId::kLxc:
+      return 8ull << 20;
+  }
+  return 0;
+}
+
+std::uint64_t image_file_id(PlatformId id) {
+  return 0xF1EE'0000ull + static_cast<std::uint64_t>(id);
+}
+
+/// Digests for one hypervisor tenant's guest RAM at kFleetPageBytes
+/// granularity: a merged-everywhere zero-page share, a per-image base that
+/// merges across tenants of the same platform, and tenant-private pages.
+std::vector<mem::PageDigest> guest_page_digests(std::uint64_t tenant,
+                                                PlatformId platform,
+                                                std::uint64_t guest_ram_bytes,
+                                                std::uint64_t image_bytes) {
+  const std::uint64_t total = std::max<std::uint64_t>(
+      1, guest_ram_bytes / kFleetPageBytes);
+  const auto zero_units = static_cast<std::uint64_t>(
+      static_cast<double>(total) * kZeroPageFraction);
+  const std::uint64_t image_units =
+      std::min(total - zero_units, image_bytes / kFleetPageBytes);
+  std::vector<mem::PageDigest> pages;
+  pages.reserve(total);
+  for (std::uint64_t p = 0; p < zero_units; ++p) {
+    pages.push_back(0x2E80'0000'0000'0000ull + p);  // zero pages: global
+  }
+  for (std::uint64_t p = 0; p < image_units; ++p) {
+    pages.push_back(0xBA5E'0000'0000'0000ull +
+                    (static_cast<std::uint64_t>(platform) << 32) + p);
+  }
+  for (std::uint64_t p = zero_units + image_units; p < total; ++p) {
+    pages.push_back(0x7E4A'0000'0000'0000ull + (tenant << 24) + p);
+  }
+  return pages;
+}
+
+}  // namespace
+
+bool is_hypervisor_backed(PlatformId id) {
+  switch (id) {
+    case PlatformId::kQemuKvm:
+    case PlatformId::kFirecracker:
+    case PlatformId::kCloudHypervisor:
+    case PlatformId::kKataContainers:
+    case PlatformId::kOsvQemu:
+    case PlatformId::kOsvFirecracker:
+      return true;
+    case PlatformId::kNative:
+    case PlatformId::kDocker:
+    case PlatformId::kLxc:
+    case PlatformId::kGvisor:
+      return false;
+  }
+  return false;
+}
+
+double FleetEngine::cpu_factor() const {
+  const double threads = static_cast<double>(host_->spec().cpu_threads);
+  return std::max(1.0, cpu_demand_ / threads);
+}
+
+std::uint64_t FleetEngine::resident_bytes() const {
+  return non_ksm_resident_ + ksm_.backing_pages() * kFleetPageBytes;
+}
+
+void FleetEngine::note_peaks() {
+  report_.peak_active = std::max(report_.peak_active, active_);
+  report_.peak_cpu_demand = std::max(
+      report_.peak_cpu_demand,
+      cpu_demand_ / static_cast<double>(host_->spec().cpu_threads));
+  const std::uint64_t resident = resident_bytes();
+  if (resident >= report_.peak_resident_bytes) {
+    report_.peak_resident_bytes = resident;
+    // Snapshot density at the high-water mark; teardowns later drain the
+    // stable tree, so end-of-run numbers would always read empty.
+    report_.ksm.advised_pages = ksm_.advised_pages();
+    report_.ksm.backing_pages = ksm_.backing_pages();
+    report_.ksm.density_gain = ksm_.density_gain();
+    report_.ksm.shared_fraction = ksm_.shared_fraction();
+  }
+}
+
+bool FleetEngine::admit(Tenant& t, const Scenario& s) {
+  const std::uint64_t overhead = platform_overhead_bytes(t.platform_id);
+  if (is_hypervisor_backed(t.platform_id) && s.enable_ksm) {
+    ksm_.advise(t.id, guest_page_digests(t.id, t.platform_id,
+                                         s.guest_ram_bytes, s.image_bytes));
+    ksm_.scan();
+    t.resident_bytes = overhead;
+    if (resident_bytes() + overhead > host_ram_cap_) {
+      ksm_.remove(t.id);
+      ksm_.scan();
+      return false;
+    }
+    t.ksm_registered = true;
+  } else {
+    // Hypervisor guests without KSM reserve full guest RAM; namespace-
+    // backed tenants only pay their process RSS.
+    t.resident_bytes = is_hypervisor_backed(t.platform_id)
+                           ? overhead + s.guest_ram_bytes
+                           : overhead + s.guest_ram_bytes / 4;
+    if (resident_bytes() + t.resident_bytes > host_ram_cap_) {
+      return false;
+    }
+  }
+  non_ksm_resident_ += t.resident_bytes;
+  return true;
+}
+
+void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
+  const bool dense_stop =
+      s.stop_at_first_oom && report_.first_oom_tenant >= 0;
+  if (dense_stop || !admit(t, s)) {
+    if (report_.first_oom_tenant < 0) {
+      report_.first_oom_tenant = static_cast<std::int64_t>(t.id);
+    }
+    t.outcome.admitted = false;
+    ++report_.rejected;
+    return;
+  }
+  t.outcome.admitted = true;
+  ++report_.admitted;
+  ++active_;
+  cpu_demand_ += kBootVcpus;
+  note_peaks();
+
+  // Boot: the platform's sampled end-to-end sequence plus pulling the boot
+  // image through the shared host page cache, both stretched by CPU
+  // contention across the fleet.
+  const sim::Nanos arrival = t.clock.now();
+  t.platform->boot(t.clock, t.rng);
+  const sim::Nanos boot_ns = t.clock.now() - arrival;
+
+  auto& cache = host_->page_cache();
+  const std::uint64_t misses =
+      cache.access_range(image_file_id(t.platform_id), 0, s.image_bytes);
+  sim::Nanos image_ns = 0;
+  if (misses > 0) {
+    image_ns = host_->nvme().read(misses * hostk::PageCache::kPageSize, t.rng);
+  } else {
+    image_ns = sim::micros(50);  // fully cache-resident image
+  }
+
+  const auto total = static_cast<sim::Nanos>(
+      static_cast<double>(boot_ns + image_ns) * cpu_factor());
+  t.clock.advance_to(arrival + total);
+  t.outcome.boot_latency = total;
+  queue_.push(arrival + total, t.id, EventKind::kBootDone);
+}
+
+void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
+  cpu_demand_ -= kBootVcpus;
+  auto& stats = report_.by_platform[t.platform->name()];
+  stats.platform = t.platform->name();
+  ++stats.tenants;
+  stats.boot_ms.add(sim::to_millis(t.outcome.boot_latency));
+
+  if (t.phases.empty()) {
+    queue_.push(t.clock.now(), t.id, EventKind::kTeardown);
+    return;
+  }
+  start_phase(t, t.phases[static_cast<std::size_t>(t.next_phase)], s);
+}
+
+void FleetEngine::start_phase(Tenant& t, platforms::WorkloadClass w,
+                              const Scenario& s) {
+  cpu_demand_ += workload_vcpus(w);
+  if (w == WorkloadClass::kNetwork) {
+    ++net_active_;
+  }
+  note_peaks();
+  t.phase_start = t.clock.now();
+  t.clock.advance(phase_cost(t, w, s));
+  queue_.push(t.clock.now(), t.id, EventKind::kPhaseDone);
+}
+
+void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
+  const WorkloadClass w = t.phases[static_cast<std::size_t>(t.next_phase)];
+  cpu_demand_ -= workload_vcpus(w);
+  if (w == WorkloadClass::kNetwork) {
+    --net_active_;
+  }
+  t.platform->record_workload(w, t.rng);  // fleet-wide HAP window
+  report_.by_platform[t.platform->name()].phase_ms.add(
+      sim::to_millis(t.clock.now() - t.phase_start));
+  ++t.next_phase;
+  ++t.outcome.phases_run;
+
+  if (t.next_phase < static_cast<int>(t.phases.size())) {
+    start_phase(t, t.phases[static_cast<std::size_t>(t.next_phase)], s);
+    return;
+  }
+  // Teardown costs one more trace-visible startup-class interaction.
+  t.platform->record_workload(WorkloadClass::kStartup, t.rng);
+  t.clock.advance(sim::millis(t.rng.uniform(2.0, 8.0)));
+  queue_.push(t.clock.now(), t.id, EventKind::kTeardown);
+}
+
+void FleetEngine::handle_teardown(Tenant& t, const Scenario&) {
+  if (t.ksm_registered) {
+    ksm_.remove(t.id);
+    ksm_.scan();
+    t.ksm_registered = false;
+  }
+  non_ksm_resident_ -= t.resident_bytes;
+  t.resident_bytes = 0;
+  --active_;
+  t.outcome.completed = true;
+  t.outcome.completion = t.clock.now();
+  ++report_.completed;
+}
+
+sim::Nanos FleetEngine::phase_cost(Tenant& t, WorkloadClass w,
+                                   const Scenario& s) {
+  // Lognormal around the scenario mean (mu = -sigma^2/2 keeps E[X] = mean).
+  constexpr double kSigma = 0.35;
+  const double base_ms =
+      sim::to_millis(s.mean_phase_duration) *
+      t.rng.lognormal(-kSigma * kSigma / 2.0, kSigma);
+  const sim::Nanos base = sim::millis(base_ms);
+
+  sim::Nanos cost = 0;
+  switch (w) {
+    case WorkloadClass::kCpu: {
+      const auto& cpu = t.platform->cpu_profile();
+      const double factor = 0.7 * cpu.scalar_factor + 0.3 * cpu.simd_factor;
+      cost = static_cast<sim::Nanos>(static_cast<double>(base) * factor);
+      break;
+    }
+    case WorkloadClass::kMemory: {
+      const auto& mp = t.platform->memory_profile();
+      const double bw = std::max(0.05, mp.bandwidth_factor);
+      cost = static_cast<sim::Nanos>(static_cast<double>(base) / bw);
+      break;
+    }
+    case WorkloadClass::kIo: {
+      auto& cache = host_->page_cache();
+      const std::uint64_t misses = cache.access_range(
+          0xD47A'0000ull + t.id, 0, s.io_bytes_per_phase);
+      sim::Nanos io_ns = 0;
+      if (misses > 0) {
+        io_ns = host_->nvme().read(misses * hostk::PageCache::kPageSize, t.rng);
+      }
+      cost = base / 5 + io_ns;
+      break;
+    }
+    case WorkloadClass::kNetwork: {
+      auto& nic = host_->nic();
+      const sim::Nanos wire =
+          nic.transfer_time(s.net_bytes_per_phase, t.rng) *
+          std::max(1, net_active_);
+      cost = base / 10 + wire + nic.latency(t.rng);
+      break;
+    }
+    case WorkloadClass::kStartup:
+      cost = base / 10;
+      break;
+  }
+  return static_cast<sim::Nanos>(static_cast<double>(cost) * cpu_factor());
+}
+
+FleetReport FleetEngine::run(const Scenario& s) {
+  if (s.platform_mix.empty() || s.workload_mix.empty()) {
+    throw std::invalid_argument(
+        "FleetEngine::run: scenario needs a platform mix and a workload mix");
+  }
+  queue_ = EventQueue{};
+  report_ = FleetReport{};
+  report_.scenario = s.name;
+  report_.seed = s.seed;
+  tenants_.clear();
+  ksm_ = mem::Ksm{};
+  global_clock_.reset();
+  active_ = 0;
+  net_active_ = 0;
+  cpu_demand_ = 0.0;
+  non_ksm_resident_ = 0;
+  host_ram_cap_ = s.host_ram_override_bytes != 0 ? s.host_ram_override_bytes
+                                                 : host_->spec().ram_bytes;
+
+  sim::Rng rng(s.seed);
+
+  // One shared platform instance per distinct id in the mix.
+  platforms_.clear();
+  double mix_total = 0.0;
+  for (const auto& share : s.platform_mix) {
+    mix_total += share.weight;
+    if (platforms_.find(share.id) == platforms_.end()) {
+      platforms_[share.id] =
+          platforms::PlatformFactory::create(share.id, *host_);
+    }
+  }
+  double workload_total = 0.0;
+  for (const auto& share : s.workload_mix) {
+    workload_total += share.weight;
+  }
+
+  const auto pick_platform = [&](sim::Rng& r) {
+    double x = r.next_double() * mix_total;
+    for (const auto& share : s.platform_mix) {
+      x -= share.weight;
+      if (x <= 0.0) {
+        return share.id;
+      }
+    }
+    return s.platform_mix.back().id;
+  };
+  const auto pick_workload = [&](sim::Rng& r) {
+    double x = r.next_double() * workload_total;
+    for (const auto& share : s.workload_mix) {
+      x -= share.weight;
+      if (x <= 0.0) {
+        return share.workload;
+      }
+    }
+    return s.workload_mix.back().workload;
+  };
+
+  // Draw arrival times, then seed the queue in arrival order.
+  std::vector<sim::Nanos> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(s.tenant_count));
+  sim::Nanos poisson_t = 0;
+  for (int i = 0; i < s.tenant_count; ++i) {
+    switch (s.arrival) {
+      case ArrivalPattern::kStorm:
+        arrivals.push_back(static_cast<sim::Nanos>(
+            rng.next_double() * static_cast<double>(s.arrival_window)));
+        break;
+      case ArrivalPattern::kRamp:
+        arrivals.push_back(s.tenant_count <= 1
+                               ? 0
+                               : s.arrival_window * i / (s.tenant_count - 1));
+        break;
+      case ArrivalPattern::kPoisson:
+        poisson_t += sim::seconds(
+            rng.exponential(std::max(1e-9, s.arrival_rate_per_sec)));
+        arrivals.push_back(poisson_t);
+        break;
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  host_->kernel().ftrace().start();
+
+  for (int i = 0; i < s.tenant_count; ++i) {
+    Tenant t;
+    t.id = static_cast<std::uint64_t>(i);
+    t.platform_id = pick_platform(rng);
+    t.platform = platforms_.at(t.platform_id).get();
+    t.rng = rng.fork();
+    t.clock = sim::Clock(arrivals[static_cast<std::size_t>(i)]);
+    t.phases.reserve(static_cast<std::size_t>(s.phases_per_tenant));
+    for (int p = 0; p < s.phases_per_tenant; ++p) {
+      t.phases.push_back(pick_workload(t.rng));
+    }
+    t.outcome.id = t.id;
+    t.outcome.platform = t.platform->name();
+    t.outcome.arrival = arrivals[static_cast<std::size_t>(i)];
+    tenants_.emplace(t.id, std::move(t));
+    queue_.push(arrivals[static_cast<std::size_t>(i)], static_cast<std::uint64_t>(i),
+                EventKind::kArrival);
+  }
+
+  const std::uint64_t cache_hits0 = host_->page_cache().hits();
+  const std::uint64_t cache_miss0 = host_->page_cache().misses();
+  const std::uint64_t nvme_read0 = host_->nvme().bytes_read();
+
+  sim::Nanos first_arrival = arrivals.empty() ? 0 : arrivals.front();
+  sim::Nanos last_event = first_arrival;
+  while (!queue_.empty()) {
+    const Event e = queue_.pop();
+    global_clock_.advance_to(e.time);
+    last_event = e.time;
+    Tenant& t = tenants_.at(e.tenant);
+    switch (e.kind) {
+      case EventKind::kArrival:
+        handle_arrival(t, s);
+        break;
+      case EventKind::kBootDone:
+        handle_boot_done(t, s);
+        break;
+      case EventKind::kPhaseDone:
+        handle_phase_done(t, s);
+        break;
+      case EventKind::kTeardown:
+        handle_teardown(t, s);
+        break;
+    }
+  }
+
+  host_->kernel().ftrace().stop();
+  const auto& ftrace = host_->kernel().ftrace();
+  report_.hap.distinct_functions = ftrace.distinct_functions();
+  report_.hap.total_invocations = ftrace.total_invocations();
+  const auto& registry = host_->kernel().registry();
+  for (const auto& [fn, count] : ftrace.counts()) {
+    (void)count;
+    report_.hap.extended_hap += epss_.score(registry.function(fn));
+  }
+
+  report_.ksm.enabled = s.enable_ksm;
+
+  report_.page_cache_hits = host_->page_cache().hits() - cache_hits0;
+  report_.page_cache_misses = host_->page_cache().misses() - cache_miss0;
+  report_.nvme_bytes_read = host_->nvme().bytes_read() - nvme_read0;
+  report_.makespan = last_event - first_arrival;
+
+  report_.tenants.reserve(tenants_.size());
+  for (int i = 0; i < s.tenant_count; ++i) {
+    report_.tenants.push_back(
+        tenants_.at(static_cast<std::uint64_t>(i)).outcome);
+  }
+  return report_;
+}
+
+}  // namespace fleet

@@ -1,0 +1,103 @@
+// FleetEngine: executes a Scenario against one shared core::HostSystem.
+//
+// The engine is the mechanism side of the policy/mechanism split: it merges
+// N per-tenant sim::Clock timelines through a deterministic priority event
+// queue (event_queue.h) into one global virtual timeline, and charges every
+// tenant's activity to the *shared* host models — page cache and NVMe for
+// boot images and I/O phases, the NIC for network phases, KSM for
+// hypervisor guest RAM, and the host kernel's ftrace for the fleet-wide
+// attack-surface rollup. Contention is modeled analytically: CPU demand
+// above the host's thread count stretches every in-flight duration, and
+// concurrent network phases share the NIC's line rate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/host_system.h"
+#include "fleet/event_queue.h"
+#include "fleet/report.h"
+#include "fleet/scenario.h"
+#include "hap/epss.h"
+#include "mem/ksm.h"
+#include "platforms/factory.h"
+#include "sim/clock.h"
+#include "sim/rng.h"
+
+namespace fleet {
+
+/// True for platforms whose tenants reserve full guest RAM (and can be
+/// KSM-deduplicated); false for namespace-backed tenants that only pay
+/// their process RSS.
+bool is_hypervisor_backed(platforms::PlatformId id);
+
+class FleetEngine {
+ public:
+  explicit FleetEngine(core::HostSystem& host) : host_(&host) {}
+
+  /// Run one scenario to completion and return its report. Deterministic
+  /// given (scenario, fresh HostSystem): the engine derives every random
+  /// stream from scenario.seed.
+  FleetReport run(const Scenario& scenario);
+
+ private:
+  struct Tenant {
+    std::uint64_t id = 0;
+    platforms::PlatformId platform_id = platforms::PlatformId::kNative;
+    platforms::Platform* platform = nullptr;
+    sim::Clock clock;
+    sim::Rng rng{0};
+    std::vector<platforms::WorkloadClass> phases;
+    int next_phase = 0;
+    sim::Nanos phase_start = 0;
+    TenantOutcome outcome;
+    std::uint64_t resident_bytes = 0;  // non-KSM-managed share
+    bool ksm_registered = false;
+  };
+
+  // Lifecycle handlers.
+  void handle_arrival(Tenant& t, const Scenario& s);
+  void handle_boot_done(Tenant& t, const Scenario& s);
+  void handle_phase_done(Tenant& t, const Scenario& s);
+  void handle_teardown(Tenant& t, const Scenario& s);
+
+  /// Begin tenant t's next workload phase: account its demand, charge its
+  /// cost, and schedule the completion event.
+  void start_phase(Tenant& t, platforms::WorkloadClass w, const Scenario& s);
+
+  /// Admission control: would this tenant's resident set still fit?
+  bool admit(Tenant& t, const Scenario& s);
+
+  /// CPU contention multiplier at current fleet activity.
+  double cpu_factor() const;
+
+  /// Virtual duration of one workload phase, including platform profile
+  /// scaling and charges to the shared host models.
+  sim::Nanos phase_cost(Tenant& t, platforms::WorkloadClass w,
+                        const Scenario& s);
+
+  /// Resident bytes actually charged against host RAM right now.
+  std::uint64_t resident_bytes() const;
+
+  void note_peaks();
+
+  core::HostSystem* host_;
+  EventQueue queue_;
+  sim::Clock global_clock_;
+  std::unordered_map<std::uint64_t, Tenant> tenants_;
+  std::unordered_map<platforms::PlatformId, std::unique_ptr<platforms::Platform>>
+      platforms_;
+  mem::Ksm ksm_;
+  hap::EpssModel epss_;
+  FleetReport report_;
+
+  int active_ = 0;       // admitted, not yet torn down
+  int net_active_ = 0;   // tenants currently in a network phase
+  double cpu_demand_ = 0.0;  // vCPUs demanded by in-flight activity
+  std::uint64_t non_ksm_resident_ = 0;
+  std::uint64_t host_ram_cap_ = 0;
+};
+
+}  // namespace fleet

@@ -1,0 +1,65 @@
+// Deterministic priority event queue for the fleet scenario engine.
+//
+// The engine models N concurrent tenant lifecycles on one shared host by
+// merging their per-tenant timelines into a single global ordering. Events
+// are popped in (time, sequence) order; the sequence number makes ties
+// deterministic (FIFO among simultaneous events), which the fleet report's
+// byte-identical-output guarantee depends on.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fleet {
+
+enum class EventKind {
+  kArrival,    // tenant requests admission and starts booting
+  kBootDone,   // boot sequence finished; workload phases begin
+  kPhaseDone,  // one workload phase finished
+  kTeardown,   // tenant released its resources
+};
+
+struct Event {
+  sim::Nanos time = 0;
+  std::uint64_t seq = 0;  // global issue order, breaks time ties
+  std::uint64_t tenant = 0;
+  EventKind kind = EventKind::kArrival;
+};
+
+/// Min-heap over (time, seq). push() stamps the sequence number.
+class EventQueue {
+ public:
+  void push(sim::Nanos time, std::uint64_t tenant, EventKind kind) {
+    heap_.push(Event{time, next_seq_++, tenant, kind});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest event without removing it.
+  const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fleet

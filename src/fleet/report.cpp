@@ -1,0 +1,80 @@
+#include "fleet/report.h"
+
+#include <cstdio>
+
+#include "stats/table.h"
+
+namespace fleet {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string FleetReport::to_text() const {
+  std::string out;
+  out += "scenario: " + scenario + " (seed " + std::to_string(seed) + ")\n";
+  out += "tenants: " + std::to_string(admitted) + " admitted, " +
+         std::to_string(rejected) + " rejected, " + std::to_string(completed) +
+         " completed; peak active " + std::to_string(peak_active) + "\n";
+  out += "makespan: " + fmt("%.2f", sim::to_millis(makespan)) + " ms; peak CPU demand " +
+         fmt("%.2f", peak_cpu_demand) + "x host threads; peak resident " +
+         fmt("%.1f", static_cast<double>(peak_resident_bytes) / (1ull << 30)) +
+         " GiB\n";
+  if (first_oom_tenant >= 0) {
+    out += "density wall: tenant " + std::to_string(first_oom_tenant) +
+           " was the first to not fit in host RAM\n";
+  }
+  if (ksm.enabled) {
+    out += "ksm: " + std::to_string(ksm.advised_pages) + " pages advised -> " +
+           std::to_string(ksm.backing_pages) + " backing (gain " +
+           fmt("%.2f", ksm.density_gain) + "x, " +
+           fmt("%.1f", 100.0 * ksm.shared_fraction) + "% cross-tenant shared)\n";
+  }
+  out += "host page cache: " + std::to_string(page_cache_hits) + " hits, " +
+         std::to_string(page_cache_misses) + " misses; nvme read " +
+         fmt("%.1f", static_cast<double>(nvme_bytes_read) / (1ull << 20)) +
+         " MiB\n";
+  out += "fleet HAP: " + std::to_string(hap.distinct_functions) +
+         " distinct host fns, " + std::to_string(hap.total_invocations) +
+         " invocations, extended HAP " + fmt("%.2f", hap.extended_hap) + "\n\n";
+
+  stats::Table table({"platform", "tenants", "boot p50 (ms)", "boot p90 (ms)",
+                      "boot p99 (ms)", "phase p50 (ms)"});
+  for (const auto& [name, stats] : by_platform) {
+    if (stats.boot_ms.empty()) {
+      table.add_row({name, std::to_string(stats.tenants), "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row(
+        {name, std::to_string(stats.tenants),
+         stats::Table::num(stats.boot_ms.percentile(50)),
+         stats::Table::num(stats.boot_ms.percentile(90)),
+         stats::Table::num(stats.boot_ms.percentile(99)),
+         stats.phase_ms.empty() ? "-"
+                                : stats::Table::num(stats.phase_ms.percentile(50))});
+  }
+  out += table.to_text();
+  return out;
+}
+
+std::vector<core::CdfSeries> FleetReport::boot_cdfs() const {
+  std::vector<core::CdfSeries> series;
+  for (const auto& [name, stats] : by_platform) {
+    if (stats.boot_ms.empty()) {
+      continue;
+    }
+    core::CdfSeries s;
+    s.platform = name;
+    s.samples_ms = stats.boot_ms;
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+}  // namespace fleet

@@ -1,0 +1,94 @@
+// FleetReport: everything a scenario run observed, rendered deterministically.
+//
+// Per-platform boot and phase latency distributions reuse stats::SampleSet
+// (the same machinery behind the paper's CDF figures); the text rendering
+// reuses stats::Table so bench output stays uniform; boot CDFs can be CSV-
+// exported through core::export like every figure. The same seed and
+// scenario always produce a byte-identical to_text().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/figures.h"
+#include "sim/time.h"
+#include "stats/sample_set.h"
+
+namespace fleet {
+
+/// Lifecycle record of one tenant.
+struct TenantOutcome {
+  std::uint64_t id = 0;
+  std::string platform;
+  sim::Nanos arrival = 0;
+  sim::Nanos boot_latency = 0;  // admission to serving (end-to-end cold start)
+  sim::Nanos completion = 0;    // teardown finished
+  int phases_run = 0;
+  bool admitted = false;
+  bool completed = false;
+};
+
+/// Per-platform aggregate over all tenants that ran on it.
+struct PlatformFleetStats {
+  std::string platform;
+  int tenants = 0;
+  stats::SampleSet boot_ms;
+  stats::SampleSet phase_ms;
+};
+
+/// KSM density outcome (hypervisor-backed tenants only).
+struct FleetKsmStats {
+  bool enabled = false;
+  std::uint64_t advised_pages = 0;
+  std::uint64_t backing_pages = 0;
+  double density_gain = 1.0;
+  double shared_fraction = 0.0;
+};
+
+/// Fleet-wide host attack surface: one ftrace window spanning the whole
+/// scenario, scored like the per-platform HAP study (Section 4).
+struct FleetHapRollup {
+  std::size_t distinct_functions = 0;
+  std::uint64_t total_invocations = 0;
+  double extended_hap = 0.0;
+};
+
+class FleetReport {
+ public:
+  std::string scenario;
+  std::uint64_t seed = 0;
+
+  std::vector<TenantOutcome> tenants;
+  /// Keyed by platform name; std::map keeps rendering order deterministic.
+  std::map<std::string, PlatformFleetStats> by_platform;
+
+  sim::Nanos makespan = 0;   // first arrival to last teardown
+  int admitted = 0;
+  int rejected = 0;
+  int completed = 0;
+  int peak_active = 0;
+  double peak_cpu_demand = 0.0;  // vCPUs demanded / host threads, at peak
+  /// First tenant whose admission would have exceeded host RAM; -1 if the
+  /// scenario never hit the density wall.
+  std::int64_t first_oom_tenant = -1;
+  std::uint64_t peak_resident_bytes = 0;
+
+  FleetKsmStats ksm;
+  FleetHapRollup hap;
+
+  /// Host-model totals charged during the run.
+  std::uint64_t page_cache_hits = 0;
+  std::uint64_t page_cache_misses = 0;
+  std::uint64_t nvme_bytes_read = 0;
+
+  /// Per-platform latency table plus fleet summary. Byte-identical for
+  /// identical (scenario, seed).
+  std::string to_text() const;
+
+  /// Boot CDFs in the figure-export shape (for core::export_cdfs).
+  std::vector<core::CdfSeries> boot_cdfs() const;
+};
+
+}  // namespace fleet

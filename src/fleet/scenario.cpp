@@ -1,0 +1,86 @@
+#include "fleet/scenario.h"
+
+namespace fleet {
+
+std::string arrival_pattern_name(ArrivalPattern p) {
+  switch (p) {
+    case ArrivalPattern::kStorm:
+      return "storm";
+    case ArrivalPattern::kPoisson:
+      return "poisson";
+    case ArrivalPattern::kRamp:
+      return "ramp";
+  }
+  return "unknown";
+}
+
+Scenario Scenario::coldstart_storm(int tenants) {
+  Scenario s;
+  s.name = "coldstart-storm";
+  s.tenant_count = tenants;
+  s.arrival = ArrivalPattern::kStorm;
+  s.arrival_window = sim::millis(50);
+  s.platform_mix = {
+      {platforms::PlatformId::kDocker, 0.35},
+      {platforms::PlatformId::kFirecracker, 0.30},
+      {platforms::PlatformId::kGvisor, 0.20},
+      {platforms::PlatformId::kOsvFirecracker, 0.15},
+  };
+  s.workload_mix = {{platforms::WorkloadClass::kCpu, 1.0}};
+  s.phases_per_tenant = 1;
+  s.mean_phase_duration = sim::millis(40);  // short function invocation
+  s.guest_ram_bytes = 256ull << 20;
+  s.image_bytes = 64ull << 20;
+  return s;
+}
+
+Scenario Scenario::density_sweep(int max_tenants) {
+  Scenario s;
+  s.name = "density-sweep";
+  s.tenant_count = max_tenants;
+  s.arrival = ArrivalPattern::kRamp;
+  s.arrival_window = sim::seconds(2);
+  s.platform_mix = {
+      {platforms::PlatformId::kQemuKvm, 0.5},
+      {platforms::PlatformId::kFirecracker, 0.5},
+  };
+  s.workload_mix = {{platforms::WorkloadClass::kMemory, 1.0}};
+  s.phases_per_tenant = 2;
+  s.mean_phase_duration = sim::millis(400);
+  s.guest_ram_bytes = 2048ull << 20;
+  s.enable_ksm = true;
+  s.stop_at_first_oom = true;
+  return s;
+}
+
+Scenario Scenario::steady_state_mix(int tenants) {
+  Scenario s;
+  s.name = "steady-state-mix";
+  s.tenant_count = tenants;
+  s.arrival = ArrivalPattern::kPoisson;
+  s.arrival_rate_per_sec = 40.0;
+  // The paper's full lineup, side by side on one host.
+  s.platform_mix = {
+      {platforms::PlatformId::kNative, 0.05},
+      {platforms::PlatformId::kDocker, 0.20},
+      {platforms::PlatformId::kLxc, 0.10},
+      {platforms::PlatformId::kQemuKvm, 0.10},
+      {platforms::PlatformId::kFirecracker, 0.15},
+      {platforms::PlatformId::kCloudHypervisor, 0.10},
+      {platforms::PlatformId::kKataContainers, 0.10},
+      {platforms::PlatformId::kGvisor, 0.08},
+      {platforms::PlatformId::kOsvQemu, 0.07},
+      {platforms::PlatformId::kOsvFirecracker, 0.05},
+  };
+  s.workload_mix = {
+      {platforms::WorkloadClass::kCpu, 0.30},
+      {platforms::WorkloadClass::kMemory, 0.20},
+      {platforms::WorkloadClass::kIo, 0.25},
+      {platforms::WorkloadClass::kNetwork, 0.25},
+  };
+  s.phases_per_tenant = 4;
+  s.mean_phase_duration = sim::millis(300);
+  return s;
+}
+
+}  // namespace fleet

@@ -1,0 +1,97 @@
+// Scenario: the policy side of a fleet simulation.
+//
+// Separates *what the fleet does* (tenant arrivals, platform mix, workload
+// mix) from *how the platforms behave* (the cost models under src/platforms
+// and src/hostk), in the spirit of policy-aware middleware design. A
+// Scenario is a plain value; FleetEngine (engine.h) executes it against one
+// shared core::HostSystem. The built-in scenarios cover the consolidation
+// questions the paper raises but only answers one tenant at a time:
+// serverless cold-start storms, density sweeps to first OOM, and
+// steady-state mixed-platform fleets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platforms/platform.h"
+#include "sim/time.h"
+
+namespace fleet {
+
+/// How tenant arrival times are drawn over the scenario's warm-up window.
+enum class ArrivalPattern {
+  kStorm,    // all tenants arrive within a short burst window
+  kPoisson,  // exponential inter-arrivals at arrival_rate_per_sec
+  kRamp,     // evenly spaced across the burst window
+};
+
+std::string arrival_pattern_name(ArrivalPattern p);
+
+/// One entry of the platform mix; weights are normalized by the engine.
+struct PlatformShare {
+  platforms::PlatformId id;
+  double weight = 1.0;
+};
+
+/// One entry of the workload mix; weights are normalized by the engine.
+struct WorkloadShare {
+  platforms::WorkloadClass workload;
+  double weight = 1.0;
+};
+
+struct Scenario {
+  std::string name = "custom";
+
+  // --- Tenant population --------------------------------------------------
+  int tenant_count = 64;
+  ArrivalPattern arrival = ArrivalPattern::kStorm;
+  /// Burst/ramp window over which arrivals land (kStorm, kRamp).
+  sim::Nanos arrival_window = sim::millis(100);
+  /// Mean arrival rate (kPoisson).
+  double arrival_rate_per_sec = 100.0;
+
+  // --- Platform and workload mix ------------------------------------------
+  std::vector<PlatformShare> platform_mix;
+  std::vector<WorkloadShare> workload_mix;
+
+  /// Workload phases each tenant runs between boot and teardown.
+  int phases_per_tenant = 3;
+  /// Mean virtual duration of one phase before platform/contention scaling.
+  sim::Nanos mean_phase_duration = sim::millis(250);
+  /// Payload pushed through the NIC during a network phase.
+  std::uint64_t net_bytes_per_phase = 8ull << 20;
+  /// Bytes read through the host I/O path during an I/O phase.
+  std::uint64_t io_bytes_per_phase = 32ull << 20;
+
+  // --- Memory / density ---------------------------------------------------
+  /// Guest RAM reserved per hypervisor-backed tenant.
+  std::uint64_t guest_ram_bytes = 512ull << 20;
+  /// Boot image pulled through the host page cache on every boot.
+  std::uint64_t image_bytes = 128ull << 20;
+  /// Deduplicate identical VM pages across tenants (Section 3.2's KSM).
+  bool enable_ksm = true;
+  /// Density-sweep mode: stop admitting at the first tenant whose projected
+  /// resident set exceeds host RAM, and record it.
+  bool stop_at_first_oom = false;
+  /// Host RAM cap for the density check; 0 means use the HostSystem spec.
+  std::uint64_t host_ram_override_bytes = 0;
+
+  // --- Reproducibility ----------------------------------------------------
+  std::uint64_t seed = 0xF1EE'75EE'D000'0001ull;
+
+  /// Serverless burst: many small tenants on boot-optimized platforms all
+  /// arriving at once; one phase each, then teardown (Figures 13-15 at
+  /// fleet scale).
+  static Scenario coldstart_storm(int tenants = 64);
+
+  /// Hypervisor tenants packed onto one host until RAM runs out, with KSM
+  /// stretching density the way Section 3.2 describes.
+  static Scenario density_sweep(int max_tenants = 192);
+
+  /// Long-running mixed fleet: containers, microVMs and unikernels side by
+  /// side, Poisson arrivals, all workload classes active.
+  static Scenario steady_state_mix(int tenants = 48);
+};
+
+}  // namespace fleet

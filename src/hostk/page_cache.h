@@ -17,7 +17,9 @@ namespace hostk {
 struct PageKey {
   std::uint64_t file;
   std::uint64_t page;
-  bool operator==(const PageKey&) const = default;
+  bool operator==(const PageKey& other) const {
+    return file == other.file && page == other.page;
+  }
 };
 
 struct PageKeyHash {

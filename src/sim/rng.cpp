@@ -1,11 +1,12 @@
 #include "sim/rng.h"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace sim {
 namespace {
+
+constexpr double kPi = 3.14159265358979323846;
 
 std::uint64_t splitmix64(std::uint64_t& x) {
   x += 0x9E3779B97F4A7C15ull;
@@ -71,7 +72,7 @@ double Rng::normal() {
   }
   const double u2 = next_double();
   const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
+  const double theta = 2.0 * kPi * u2;
   cached_normal_ = r * std::sin(theta);
   has_cached_normal_ = true;
   return r * std::cos(theta);

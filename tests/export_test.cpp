@@ -1,6 +1,8 @@
 // Tests for CSV export of figure results (core/export).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -13,7 +15,10 @@ namespace {
 class ExportFixture : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "isoplat_export_test";
+    // Unique per process: ctest runs each TEST in its own process, in
+    // parallel, so a shared directory would race create/remove_all.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("isoplat_export_test_" + std::to_string(getpid()));
     std::filesystem::create_directories(dir_);
     setenv("ISOPLAT_RESULTS_DIR", dir_.c_str(), 1);
   }
