@@ -1,0 +1,221 @@
+// Fleet engine scaling benchmark: the repo's recorded perf trajectory.
+//
+// Runs the cold-start storm and the density sweep at 1k/4k/10k tenants
+// against a fresh HostSystem each, and reports real wall-clock time and
+// simulator events per second — the first-order answer to "does the engine
+// run as fast as the hardware allows as the fleet grows". Results are
+// written as JSON (default BENCH_fleet_scale.json, see README "Performance")
+// so successive PRs can compare runs; the checked-in copy at the repo root
+// records the trajectory including the pre-optimization baseline.
+//
+// Usage: fleet_scale [--tenants N[,N...]] [--out PATH] [--no-json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/host_system.h"
+#include "fleet/engine.h"
+#include "fleet/report.h"
+#include "fleet/scenario.h"
+#include "stats/table.h"
+
+namespace {
+
+struct ScaleResult {
+  std::string scenario;
+  int tenants = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  int admitted = 0;
+  int completed = 0;
+};
+
+ScaleResult run_one(const fleet::Scenario& scenario) {
+  core::HostSystem host;  // fresh host: cold page cache, pristine ftrace
+  fleet::FleetEngine engine(host);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = engine.run(scenario);
+  const auto t1 = std::chrono::steady_clock::now();
+  ScaleResult r;
+  r.scenario = scenario.name;
+  r.tenants = scenario.tenant_count;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.events = report.events_processed;
+  r.events_per_sec =
+      r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3)
+                      : 0.0;
+  r.admitted = report.admitted;
+  r.completed = report.completed;
+  return r;
+}
+
+std::vector<int> parse_sizes(const char* arg) {
+  std::vector<int> sizes;
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        sizes.push_back(std::atoi(token.c_str()));
+        token.clear();
+      }
+      if (*p == '\0') {
+        break;
+      }
+    } else {
+      token += *p;
+    }
+  }
+  return sizes;
+}
+
+/// Pre-optimization wall-clock for the same scenarios and sizes, measured
+/// at PR 1 (commit 1055723) on the clear-and-rebuild-KSM engine. A fixed
+/// historical record: emitting it from here keeps the checked-in
+/// BENCH_fleet_scale.json fully regenerable by just running this bench.
+struct BaselineEntry {
+  const char* scenario;
+  int tenants;
+  double wall_ms;
+};
+constexpr BaselineEntry kPrePrBaseline[] = {
+    {"coldstart-storm", 1000, 709.0},   {"density-sweep", 1000, 2109.8},
+    {"coldstart-storm", 4000, 9260.8},  {"density-sweep", 4000, 2001.0},
+    {"coldstart-storm", 10000, 33955.4}, {"density-sweep", 10000, 1995.7},
+};
+
+const BaselineEntry* baseline_for(const ScaleResult& r) {
+  for (const BaselineEntry& b : kPrePrBaseline) {
+    if (r.scenario == b.scenario && r.tenants == b.tenants) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+void write_json(const std::string& path, const std::vector<ScaleResult>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"unit\": {\"wall_ms\": \"milliseconds\", "
+                  "\"events_per_sec\": \"simulator events per second\"},\n");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ScaleResult& r = runs[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"tenants\": %d, "
+                 "\"wall_ms\": %.1f, \"events\": %llu, "
+                 "\"events_per_sec\": %.0f, \"admitted\": %d, "
+                 "\"completed\": %d}%s\n",
+                 r.scenario.c_str(), r.tenants, r.wall_ms,
+                 static_cast<unsigned long long>(r.events), r.events_per_sec,
+                 r.admitted, r.completed, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"baseline_pre_pr\": {\n");
+  std::fprintf(f, "    \"commit\": \"1055723\",\n");
+  std::fprintf(f, "    \"note\": \"same scenarios and sizes on the "
+                  "pre-optimization engine (clear-and-rebuild KSM scan, "
+                  "std::list page cache, hashed tenant table, unbatched "
+                  "event heap)\",\n");
+  std::fprintf(f, "    \"runs\": [\n");
+  bool first = true;
+  for (const ScaleResult& r : runs) {
+    const BaselineEntry* b = baseline_for(r);
+    if (b == nullptr) {
+      continue;
+    }
+    std::fprintf(f,
+                 "%s      {\"scenario\": \"%s\", \"tenants\": %d, "
+                 "\"wall_ms\": %.1f}",
+                 first ? "" : ",\n", b->scenario, b->tenants, b->wall_ms);
+    first = false;
+  }
+  std::fprintf(f, "\n    ]\n  },\n");
+  std::fprintf(f, "  \"speedup_vs_pre_pr\": {");
+  first = true;
+  for (const ScaleResult& r : runs) {
+    const BaselineEntry* b = baseline_for(r);
+    if (b == nullptr || r.wall_ms <= 0.0) {
+      continue;
+    }
+    std::fprintf(f, "%s\"%s@%d\": %.1f", first ? "" : ", ",
+                 r.scenario.c_str(), r.tenants, b->wall_ms / r.wall_ms);
+    first = false;
+  }
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("(json written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> sizes = {1000, 4000, 10000};
+  std::string out = "BENCH_fleet_scale.json";
+  bool json = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      sizes = parse_sizes(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      json = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fleet_scale [--tenants N[,N...]] [--out PATH] "
+                   "[--no-json]\n");
+      return 2;
+    }
+  }
+  if (sizes.empty()) {
+    std::fprintf(stderr, "fleet_scale: --tenants needs at least one size\n");
+    return 2;
+  }
+  for (int n : sizes) {
+    if (n <= 0) {
+      std::fprintf(stderr,
+                   "fleet_scale: tenant sizes must be positive integers\n");
+      return 2;
+    }
+  }
+
+  benchutil::print_header(
+      "fleet scale",
+      "Engine scaling trajectory: cold-start storm and density sweep at\n"
+      "growing tenant counts, real wall-clock and events/sec per run.");
+
+  std::vector<ScaleResult> runs;
+  for (int n : sizes) {
+    runs.push_back(run_one(fleet::Scenario::coldstart_storm(n)));
+    auto sweep = fleet::Scenario::density_sweep(n);
+    // Arrivals must outpace teardowns or the density wall is never reached.
+    sweep.arrival_window = sim::millis(250);
+    runs.push_back(run_one(sweep));
+  }
+
+  stats::Table table({"scenario", "tenants", "wall (ms)", "events",
+                      "events/sec", "admitted"});
+  for (const ScaleResult& r : runs) {
+    table.add_row({r.scenario, std::to_string(r.tenants),
+                   stats::Table::num(r.wall_ms),
+                   std::to_string(r.events),
+                   stats::Table::num(r.events_per_sec, 0),
+                   std::to_string(r.admitted)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  if (json) {
+    write_json(out, runs);
+  }
+  return 0;
+}

@@ -7,8 +7,10 @@
 // steady-state mixed-platform fleet — each against a fresh HostSystem so
 // output is byte-identical for identical seeds.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "platforms/platform.h"
 #include "core/export.h"
 #include "core/host_system.h"
 #include "fleet/engine.h"
@@ -52,8 +54,15 @@ int main() {
   const auto with_ksm = run_fresh(sweep);
   sweep.enable_ksm = false;
   const auto without_ksm = run_fresh(sweep);
-  std::printf("--- %s: pack %s/%s guests until RAM runs out ---\n",
-              sweep.name.c_str(), "qemu-kvm", "firecracker");
+  std::string mix_names;
+  for (const auto& share : sweep.platform_mix) {
+    if (!mix_names.empty()) {
+      mix_names += "/";
+    }
+    mix_names += platforms::platform_id_name(share.id);
+  }
+  std::printf("--- %s: pack %s guests until RAM runs out ---\n",
+              sweep.name.c_str(), mix_names.c_str());
   std::printf("admitted with KSM    : %d tenants (density gain %.2fx)\n",
               with_ksm.admitted, with_ksm.ksm.density_gain);
   std::printf("admitted without KSM : %d tenants\n\n", without_ksm.admitted);

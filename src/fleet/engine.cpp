@@ -66,32 +66,29 @@ std::uint64_t image_file_id(PlatformId id) {
   return 0xF1EE'0000ull + static_cast<std::uint64_t>(id);
 }
 
-/// Digests for one hypervisor tenant's guest RAM at kFleetPageBytes
-/// granularity: a merged-everywhere zero-page share, a per-image base that
-/// merges across tenants of the same platform, and tenant-private pages.
-std::vector<mem::PageDigest> guest_page_digests(std::uint64_t tenant,
-                                                PlatformId platform,
-                                                std::uint64_t guest_ram_bytes,
-                                                std::uint64_t image_bytes) {
+/// Digest runs for one hypervisor tenant's guest RAM at kFleetPageBytes
+/// granularity: a merged-everywhere zero-page run, a per-image run that
+/// merges across tenants of the same platform, and a tenant-private run.
+/// Three PageRuns describe the whole guest — no per-page vector ever
+/// materializes, and the KSM stable tree ingests each run as one interval.
+std::vector<mem::PageRun> guest_page_runs(std::uint64_t tenant,
+                                          PlatformId platform,
+                                          std::uint64_t guest_ram_bytes,
+                                          std::uint64_t image_bytes) {
   const std::uint64_t total = std::max<std::uint64_t>(
       1, guest_ram_bytes / kFleetPageBytes);
   const auto zero_units = static_cast<std::uint64_t>(
       static_cast<double>(total) * kZeroPageFraction);
   const std::uint64_t image_units =
       std::min(total - zero_units, image_bytes / kFleetPageBytes);
-  std::vector<mem::PageDigest> pages;
-  pages.reserve(total);
-  for (std::uint64_t p = 0; p < zero_units; ++p) {
-    pages.push_back(0x2E80'0000'0000'0000ull + p);  // zero pages: global
-  }
-  for (std::uint64_t p = 0; p < image_units; ++p) {
-    pages.push_back(0xBA5E'0000'0000'0000ull +
-                    (static_cast<std::uint64_t>(platform) << 32) + p);
-  }
-  for (std::uint64_t p = zero_units + image_units; p < total; ++p) {
-    pages.push_back(0x7E4A'0000'0000'0000ull + (tenant << 24) + p);
-  }
-  return pages;
+  const std::uint64_t private_units = total - zero_units - image_units;
+  return {
+      {0x2E80'0000'0000'0000ull, zero_units},  // zero pages: global
+      {0xBA5E'0000'0000'0000ull + (static_cast<std::uint64_t>(platform) << 32),
+       image_units},
+      {0x7E4A'0000'0000'0000ull + (tenant << 24) + zero_units + image_units,
+       private_units},
+  };
 }
 
 }  // namespace
@@ -143,8 +140,8 @@ void FleetEngine::note_peaks() {
 bool FleetEngine::admit(Tenant& t, const Scenario& s) {
   const std::uint64_t overhead = platform_overhead_bytes(t.platform_id);
   if (is_hypervisor_backed(t.platform_id) && s.enable_ksm) {
-    ksm_.advise(t.id, guest_page_digests(t.id, t.platform_id,
-                                         s.guest_ram_bytes, s.image_bytes));
+    ksm_.advise_runs(t.id, guest_page_runs(t.id, t.platform_id,
+                                           s.guest_ram_bytes, s.image_bytes));
     ksm_.scan();
     t.resident_bytes = overhead;
     if (resident_bytes() + overhead > host_ram_cap_) {
@@ -210,7 +207,11 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
 
 void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
   cpu_demand_ -= kBootVcpus;
+  // One string-keyed lookup per tenant, here; phases reuse the cached
+  // pointer. Creating the entry lazily (not at tenant setup) keeps
+  // platforms whose tenants never booted out of the report table.
   auto& stats = report_.by_platform[t.platform->name()];
+  t.stats = &stats;
   stats.platform = t.platform->name();
   ++stats.tenants;
   stats.boot_ms.add(sim::to_millis(t.outcome.boot_latency));
@@ -241,8 +242,7 @@ void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
     --net_active_;
   }
   t.platform->record_workload(w, t.rng);  // fleet-wide HAP window
-  report_.by_platform[t.platform->name()].phase_ms.add(
-      sim::to_millis(t.clock.now() - t.phase_start));
+  t.stats->phase_ms.add(sim::to_millis(t.clock.now() - t.phase_start));
   ++t.next_phase;
   ++t.outcome.phases_run;
 
@@ -402,8 +402,10 @@ FleetReport FleetEngine::run(const Scenario& s) {
 
   host_->kernel().ftrace().start();
 
+  tenants_.reserve(static_cast<std::size_t>(s.tenant_count));
   for (int i = 0; i < s.tenant_count; ++i) {
-    Tenant t;
+    tenants_.emplace_back();
+    Tenant& t = tenants_.back();
     t.id = static_cast<std::uint64_t>(i);
     t.platform_id = pick_platform(rng);
     t.platform = platforms_.at(t.platform_id).get();
@@ -416,7 +418,6 @@ FleetReport FleetEngine::run(const Scenario& s) {
     t.outcome.id = t.id;
     t.outcome.platform = t.platform->name();
     t.outcome.arrival = arrivals[static_cast<std::size_t>(i)];
-    tenants_.emplace(t.id, std::move(t));
     queue_.push(arrivals[static_cast<std::size_t>(i)], static_cast<std::uint64_t>(i),
                 EventKind::kArrival);
   }
@@ -429,9 +430,10 @@ FleetReport FleetEngine::run(const Scenario& s) {
   sim::Nanos last_event = first_arrival;
   while (!queue_.empty()) {
     const Event e = queue_.pop();
+    ++report_.events_processed;
     global_clock_.advance_to(e.time);
     last_event = e.time;
-    Tenant& t = tenants_.at(e.tenant);
+    Tenant& t = tenants_[e.tenant];
     switch (e.kind) {
       case EventKind::kArrival:
         handle_arrival(t, s);
@@ -466,9 +468,8 @@ FleetReport FleetEngine::run(const Scenario& s) {
   report_.makespan = last_event - first_arrival;
 
   report_.tenants.reserve(tenants_.size());
-  for (int i = 0; i < s.tenant_count; ++i) {
-    report_.tenants.push_back(
-        tenants_.at(static_cast<std::uint64_t>(i)).outcome);
+  for (const Tenant& t : tenants_) {
+    report_.tenants.push_back(t.outcome);
   }
   return report_;
 }

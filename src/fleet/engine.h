@@ -47,6 +47,10 @@ class FleetEngine {
     std::uint64_t id = 0;
     platforms::PlatformId platform_id = platforms::PlatformId::kNative;
     platforms::Platform* platform = nullptr;
+    /// Cached &report_.by_platform[platform->name()], resolved once per
+    /// tenant at boot completion (std::map nodes are pointer-stable) so
+    /// per-phase accounting skips the string-keyed lookup.
+    PlatformFleetStats* stats = nullptr;
     sim::Clock clock;
     sim::Rng rng{0};
     std::vector<platforms::WorkloadClass> phases;
@@ -86,7 +90,9 @@ class FleetEngine {
   core::HostSystem* host_;
   EventQueue queue_;
   sim::Clock global_clock_;
-  std::unordered_map<std::uint64_t, Tenant> tenants_;
+  /// Dense tenant table: ids are assigned 0..N-1, so the event loop indexes
+  /// directly instead of hashing per event.
+  std::vector<Tenant> tenants_;
   std::unordered_map<platforms::PlatformId, std::unique_ptr<platforms::Platform>>
       platforms_;
   mem::Ksm ksm_;

@@ -5,10 +5,17 @@
 // are popped in (time, sequence) order; the sequence number makes ties
 // deterministic (FIFO among simultaneous events), which the fleet report's
 // byte-identical-output guarantee depends on.
+//
+// Events sharing a timestamp are batched: the binary heap orders *batches*
+// (one per distinct timestamp currently queued), and each batch drains its
+// events in push order. A 10k-tenant storm where admissions, boot
+// completions and teardowns pile up on the same instants then pays one heap
+// operation per timestamp instead of one per event, and batch storage is
+// recycled so steady-state churn does not allocate.
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -29,37 +36,131 @@ struct Event {
   EventKind kind = EventKind::kArrival;
 };
 
-/// Min-heap over (time, seq). push() stamps the sequence number.
+/// Pops events in (time, seq) order; push() stamps the sequence number.
 class EventQueue {
  public:
   void push(sim::Nanos time, std::uint64_t tenant, EventKind kind) {
-    heap_.push(Event{time, next_seq_++, tenant, kind});
+    const std::uint64_t seq = next_seq_++;
+    const auto [it, inserted] = open_.try_emplace(time, 0u);
+    if (inserted) {
+      it->second = alloc_batch(time, seq);
+      heap_.push_back(it->second);
+      sift_up(heap_.size() - 1);
+    }
+    batches_[it->second].items.push_back(Item{seq, tenant, kind});
+    ++size_;
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
-  /// Earliest event without removing it.
-  const Event& top() const { return heap_.top(); }
+  /// Earliest event without removing it. Requires !empty().
+  Event top() const {
+    const Batch& b = batches_[heap_.front()];
+    const Item& item = b.items[b.cursor];
+    return Event{b.time, item.seq, item.tenant, item.kind};
+  }
 
   Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
+    const std::uint32_t id = heap_.front();
+    Batch& b = batches_[id];
+    const Item item = b.items[b.cursor++];
+    const Event e{b.time, item.seq, item.tenant, item.kind};
+    --size_;
+    if (b.cursor == b.items.size()) {
+      // Batch drained: retire it. A later push at the same timestamp simply
+      // opens a fresh batch, which still pops in seq order.
+      open_.erase(b.time);
+      pop_root();
+      free_.push_back(id);
+    }
     return e;
   }
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
+  struct Item {
+    std::uint64_t seq;
+    std::uint64_t tenant;
+    EventKind kind;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// All events queued for one exact timestamp, in push (= seq) order.
+  /// cursor marks how far the front batch has drained.
+  struct Batch {
+    sim::Nanos time = 0;
+    std::uint64_t first_seq = 0;
+    std::size_t cursor = 0;
+    std::vector<Item> items;
+  };
+
+  std::uint32_t alloc_batch(sim::Nanos time, std::uint64_t first_seq) {
+    std::uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      batches_[id].items.clear();  // keeps capacity: no steady-state allocs
+    } else {
+      id = static_cast<std::uint32_t>(batches_.size());
+      batches_.emplace_back();
+    }
+    batches_[id].time = time;
+    batches_[id].first_seq = first_seq;
+    batches_[id].cursor = 0;
+    return id;
+  }
+
+  /// Min-heap order over batches: (time, first_seq). A timestamp maps to at
+  /// most one open batch, so first_seq ties only occur between a drained
+  /// batch's successor and unrelated timestamps — never ambiguously.
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Batch& x = batches_[a];
+    const Batch& y = batches_[b];
+    if (x.time != y.time) {
+      return x.time < y.time;
+    }
+    return x.first_seq < y.first_seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) {
+        break;
+      }
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void pop_root() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t best = i;
+      if (l < n && before(heap_[l], heap_[best])) {
+        best = l;
+      }
+      if (r < n && before(heap_[r], heap_[best])) {
+        best = r;
+      }
+      if (best == i) {
+        break;
+      }
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Batch> batches_;          // indexed by batch id
+  std::vector<std::uint32_t> free_;     // retired batch ids for reuse
+  std::vector<std::uint32_t> heap_;     // batch ids, min-heap by before()
+  std::unordered_map<sim::Nanos, std::uint32_t> open_;  // time -> open batch
   std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace fleet

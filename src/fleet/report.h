@@ -83,6 +83,11 @@ class FleetReport {
   std::uint64_t page_cache_misses = 0;
   std::uint64_t nvme_bytes_read = 0;
 
+  /// Simulator events the engine's loop processed for this run. Fed to the
+  /// scaling bench's events/sec metric; deliberately not rendered by
+  /// to_text(), whose output is a compatibility surface.
+  std::uint64_t events_processed = 0;
+
   /// Per-platform latency table plus fleet summary. Byte-identical for
   /// identical (scenario, seed).
   std::string to_text() const;

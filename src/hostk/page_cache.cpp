@@ -5,14 +5,151 @@ namespace hostk {
 PageCache::PageCache(std::uint64_t capacity_bytes)
     : capacity_pages_(capacity_bytes / kPageSize) {}
 
+std::uint64_t PageCache::hash(PageKey key) {
+  std::uint64_t x = key.file * 0x9E3779B97F4A7C15ull + key.page;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint32_t PageCache::find(PageKey key, std::uint64_t* slot) const {
+  if (table_.empty()) {
+    *slot = 0;
+    return kNil;
+  }
+  std::uint64_t i = hash(key) & table_mask_;
+  while (true) {
+    const std::uint32_t n = table_[i];
+    if (n == kNil) {
+      *slot = i;
+      return kNil;
+    }
+    if (nodes_[n].key == key) {
+      *slot = i;
+      return n;
+    }
+    i = (i + 1) & table_mask_;
+  }
+}
+
+void PageCache::link_front(std::uint32_t n) {
+  nodes_[n].prev = kNil;
+  nodes_[n].next = head_;
+  if (head_ != kNil) {
+    nodes_[head_].prev = n;
+  }
+  head_ = n;
+  if (tail_ == kNil) {
+    tail_ = n;
+  }
+}
+
+void PageCache::unlink(std::uint32_t n) {
+  const std::uint32_t p = nodes_[n].prev;
+  const std::uint32_t q = nodes_[n].next;
+  if (p != kNil) {
+    nodes_[p].next = q;
+  } else {
+    head_ = q;
+  }
+  if (q != kNil) {
+    nodes_[q].prev = p;
+  } else {
+    tail_ = p;
+  }
+}
+
+void PageCache::promote(std::uint32_t n) {
+  if (head_ == n) {
+    return;
+  }
+  unlink(n);
+  link_front(n);
+}
+
+void PageCache::erase_slot_of(PageKey key) {
+  std::uint64_t i = 0;
+  const std::uint32_t n = find(key, &i);
+  if (n == kNil) {
+    return;
+  }
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  while (true) {
+    table_[i] = kNil;
+    std::uint64_t j = i;
+    while (true) {
+      j = (j + 1) & table_mask_;
+      const std::uint32_t m = table_[j];
+      if (m == kNil) {
+        return;
+      }
+      const std::uint64_t home = hash(nodes_[m].key) & table_mask_;
+      // Move m into the hole unless its home slot lies cyclically in (i, j].
+      const bool stays = (j > i) ? (home > i && home <= j)
+                                 : (home > i || home <= j);
+      if (!stays) {
+        table_[i] = m;
+        i = j;
+        break;
+      }
+    }
+  }
+}
+
+void PageCache::grow_table() {
+  const std::uint64_t new_size = table_.empty() ? 256 : table_.size() * 2;
+  table_.assign(new_size, kNil);
+  table_mask_ = new_size - 1;
+  for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+    std::uint64_t i = hash(nodes_[n].key) & table_mask_;
+    while (table_[i] != kNil) {
+      i = (i + 1) & table_mask_;
+    }
+    table_[i] = n;
+  }
+}
+
+void PageCache::maybe_grow() {
+  if (table_.empty() || (size_ + 1) * 4 > table_.size() * 3) {
+    grow_table();
+  }
+}
+
+void PageCache::insert_new(PageKey key, std::uint64_t slot) {
+  std::uint32_t n;
+  if (!free_.empty()) {
+    n = free_.back();
+    free_.pop_back();
+  } else {
+    n = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  nodes_[n].key = key;
+  table_[slot] = n;
+  link_front(n);
+  ++size_;
+  if (size_ > capacity_pages_) {
+    evict_lru();
+  }
+}
+
+void PageCache::evict_lru() {
+  const std::uint32_t t = tail_;
+  erase_slot_of(nodes_[t].key);
+  unlink(t);
+  free_.push_back(t);
+  --size_;
+}
+
 bool PageCache::access(PageKey key) {
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
+  std::uint64_t slot = 0;
+  const std::uint32_t n = find(key, &slot);
+  if (n == kNil) {
     ++misses_;
     return false;
   }
   ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  promote(n);
   return true;
 }
 
@@ -20,14 +157,14 @@ void PageCache::insert(PageKey key) {
   if (capacity_pages_ == 0) {
     return;
   }
-  const auto it = map_.find(key);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  maybe_grow();
+  std::uint64_t slot = 0;
+  const std::uint32_t n = find(key, &slot);
+  if (n != kNil) {
+    promote(n);
     return;
   }
-  lru_.push_front(key);
-  map_[key] = lru_.begin();
-  evict_if_needed();
+  insert_new(key, slot);
 }
 
 std::uint64_t PageCache::access_range(std::uint64_t file, std::uint64_t offset,
@@ -40,9 +177,20 @@ std::uint64_t PageCache::access_range(std::uint64_t file, std::uint64_t offset,
   std::uint64_t miss_count = 0;
   for (std::uint64_t p = first; p <= last; ++p) {
     const PageKey key{file, p};
-    if (!access(key)) {
-      ++miss_count;
-      insert(key);
+    if (capacity_pages_ != 0) {
+      maybe_grow();  // before find(): growth would invalidate the slot
+    }
+    std::uint64_t slot = 0;
+    const std::uint32_t n = find(key, &slot);
+    if (n != kNil) {
+      ++hits_;
+      promote(n);
+      continue;
+    }
+    ++misses_;
+    ++miss_count;
+    if (capacity_pages_ != 0) {
+      insert_new(key, slot);
     }
   }
   return miss_count;
@@ -56,7 +204,8 @@ bool PageCache::resident(std::uint64_t file, std::uint64_t offset,
   const std::uint64_t first = offset / kPageSize;
   const std::uint64_t last = (offset + len - 1) / kPageSize;
   for (std::uint64_t p = first; p <= last; ++p) {
-    if (map_.find(PageKey{file, p}) == map_.end()) {
+    std::uint64_t slot = 0;
+    if (find(PageKey{file, p}, &slot) == kNil) {
       return false;
     }
   }
@@ -64,20 +213,17 @@ bool PageCache::resident(std::uint64_t file, std::uint64_t offset,
 }
 
 void PageCache::drop_caches() {
-  lru_.clear();
-  map_.clear();
+  table_.assign(table_.size(), kNil);
+  nodes_.clear();
+  free_.clear();
+  head_ = kNil;
+  tail_ = kNil;
+  size_ = 0;
 }
 
 void PageCache::reset_stats() {
   hits_ = 0;
   misses_ = 0;
-}
-
-void PageCache::evict_if_needed() {
-  while (map_.size() > capacity_pages_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
-  }
 }
 
 }  // namespace hostk

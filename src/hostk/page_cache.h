@@ -5,11 +5,19 @@
 // is not propagated through a loop device — the pitfall Section 3.3 works
 // around by dropping host caches before each run. We model the cache at
 // 4 KiB page granularity with LRU eviction.
+//
+// The LRU is intrusive and index-based: nodes live in one contiguous vector
+// linked by 32-bit prev/next indices, and the key index is an open-addressed
+// linear-probing table of node indices — no per-page allocation, no
+// std::list, no bucket chasing. access_range() is extent-aware: it walks the
+// page extent in one pass with a single find-or-insert probe per page
+// (instead of a find in access() followed by a second find in insert()).
+// Hit/miss accounting and eviction order are exactly those of a per-page
+// LRU, so simulation reports are byte-identical to the naive model.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 namespace hostk {
 
@@ -54,17 +62,47 @@ class PageCache {
   void drop_caches();
 
   std::uint64_t capacity_pages() const { return capacity_pages_; }
-  std::uint64_t size_pages() const { return map_.size(); }
+  std::uint64_t size_pages() const { return size_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   void reset_stats();
 
  private:
-  void evict_if_needed();
+  static constexpr std::uint32_t kNil = 0xFFFF'FFFFu;
+
+  struct Node {
+    PageKey key{0, 0};
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  static std::uint64_t hash(PageKey key);
+
+  /// Linear-probe for `key`. Returns the node index (or kNil) and leaves
+  /// `slot` at the matching table slot — or, on a miss, at the first empty
+  /// slot, which is exactly where an insertion of `key` belongs.
+  std::uint32_t find(PageKey key, std::uint64_t* slot) const;
+
+  /// Allocate a node for `key`, place it at `slot`, link it as MRU, and
+  /// evict from the tail if over capacity. `slot` must come from find().
+  void insert_new(PageKey key, std::uint64_t slot);
+
+  void link_front(std::uint32_t n);
+  void unlink(std::uint32_t n);
+  void promote(std::uint32_t n);
+  void evict_lru();
+  void erase_slot_of(PageKey key);
+  void maybe_grow();
+  void grow_table();
 
   std::uint64_t capacity_pages_;
-  std::list<PageKey> lru_;  // front = most recent
-  std::unordered_map<PageKey, std::list<PageKey>::iterator, PageKeyHash> map_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;   // recycled node indices
+  std::vector<std::uint32_t> table_;  // open addressing: node index or kNil
+  std::uint64_t table_mask_ = 0;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  std::uint64_t size_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

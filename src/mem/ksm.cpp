@@ -1,50 +1,180 @@
 #include "mem/ksm.h"
 
-#include <algorithm>
-
 namespace mem {
 
-void Ksm::advise(std::uint64_t vm_id, std::vector<PageDigest> pages) {
+void Ksm::add_range(PageDigest lo, PageDigest hi, bool add) {
+  if (lo >= hi) {
+    return;
+  }
+  auto it = tree_.lower_bound(lo);
+  // Split a predecessor interval straddling lo so lo becomes a boundary.
+  if (it != tree_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->second.end > lo) {
+      const Interval tail{prev->second.end, prev->second.refs};
+      prev->second.end = lo;
+      it = tree_.insert(it, {lo, tail});
+    }
+  }
+  PageDigest cur = lo;
+  while (cur < hi) {
+    const PageDigest next_start =
+        (it == tree_.end() || it->first > hi) ? hi : it->first;
+    if (cur < next_start) {
+      // Gap [cur, next_start): digests with no backing yet. Dropping refs
+      // in a gap cannot happen for well-formed clients; tolerate it.
+      if (add) {
+        it = tree_.insert(it, {cur, Interval{next_start, 1}});
+        distinct_ += next_start - cur;
+        ++it;
+      }
+      cur = next_start;
+      continue;
+    }
+    // Interval starting exactly at cur. Split it if it straddles hi.
+    if (it->second.end > hi) {
+      const Interval tail{it->second.end, it->second.refs};
+      it->second.end = hi;
+      tree_.insert(std::next(it), {hi, tail});
+    }
+    const PageDigest len = it->second.end - cur;
+    const std::uint64_t r = it->second.refs;
+    cur = it->second.end;
+    if (add) {
+      if (r == 1) {
+        shared_ += 2 * len;  // first duplicate: both copies become shared
+      } else if (r >= 2) {
+        shared_ += len;
+      }
+      it->second.refs = r + 1;
+      ++it;
+    } else {
+      if (r == 2) {
+        shared_ -= 2 * len;  // back to a single copy: no longer shared
+      } else if (r >= 3) {
+        shared_ -= len;
+      }
+      if (r <= 1) {
+        distinct_ -= len;
+        it = tree_.erase(it);
+      } else {
+        it->second.refs = r - 1;
+        ++it;
+      }
+    }
+  }
+}
+
+void Ksm::coalesce(PageDigest lo, PageDigest hi) {
+  auto it = tree_.lower_bound(lo);
+  if (it != tree_.begin()) {
+    --it;  // the interval ending at lo may now match its new neighbor
+  }
+  while (it != tree_.end() && it->first <= hi) {
+    const auto next = std::next(it);
+    if (next == tree_.end()) {
+      break;
+    }
+    if (it->second.end == next->first &&
+        it->second.refs == next->second.refs) {
+      it->second.end = next->second.end;
+      tree_.erase(next);
+    } else {
+      it = next;
+    }
+  }
+}
+
+void Ksm::advise(std::uint64_t vm_id, const std::vector<PageDigest>& pages) {
+  std::vector<PageRun> runs;
+  for (PageDigest d : pages) {
+    if (!runs.empty() &&
+        d == runs.back().base_digest + runs.back().count) {
+      ++runs.back().count;
+    } else {
+      runs.push_back({d, 1});
+    }
+  }
+  advise_runs(vm_id, std::move(runs));
+}
+
+void Ksm::touch_max_digest(bool add) {
+  if (add) {
+    if (max_digest_refs_ == 0) {
+      ++distinct_;
+    } else if (max_digest_refs_ == 1) {
+      shared_ += 2;
+    } else {
+      shared_ += 1;
+    }
+    ++max_digest_refs_;
+  } else {
+    if (max_digest_refs_ == 0) {
+      return;  // tolerate, mirroring add_range's gap handling
+    }
+    --max_digest_refs_;
+    if (max_digest_refs_ == 0) {
+      --distinct_;
+    } else if (max_digest_refs_ == 1) {
+      shared_ -= 2;
+    } else {
+      shared_ -= 1;
+    }
+  }
+}
+
+void Ksm::apply_run(const PageRun& run, bool add) {
+  constexpr PageDigest kMax = ~PageDigest{0};
+  const PageDigest lo = run.base_digest;
+  std::uint64_t count = run.count;
+  if (count == 0) {
+    return;
+  }
+  if (count - 1 >= kMax - lo) {
+    // Run reaches digest 2^64-1 (and may wrap): peel off the pieces the
+    // exclusive-end interval map cannot express.
+    const std::uint64_t below_max = kMax - lo;  // pages in [lo, kMax)
+    add_range(lo, kMax, add);
+    coalesce(lo, kMax);
+    touch_max_digest(add);
+    const std::uint64_t rest = count - below_max - 1;  // wrapped onto [0, ...)
+    if (rest > 0) {
+      add_range(0, rest, add);
+      coalesce(0, rest);
+    }
+    return;
+  }
+  add_range(lo, lo + count, add);
+  coalesce(lo, lo + count);
+}
+
+void Ksm::advise_runs(std::uint64_t vm_id, std::vector<PageRun> runs) {
   remove(vm_id);
-  clients_.push_back(KsmClient{vm_id, std::move(pages)});
+  for (const auto& r : runs) {
+    apply_run(r, /*add=*/true);
+    advised_ += r.count;
+  }
+  clients_[vm_id] = std::move(runs);
   scanned_ = false;
 }
 
 void Ksm::remove(std::uint64_t vm_id) {
-  clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
-                                [vm_id](const KsmClient& c) {
-                                  return c.vm_id == vm_id;
-                                }),
-                 clients_.end());
+  const auto it = clients_.find(vm_id);
+  if (it != clients_.end()) {
+    for (const auto& r : it->second) {
+      apply_run(r, /*add=*/false);
+      advised_ -= r.count;
+    }
+    clients_.erase(it);
+  }
   scanned_ = false;
 }
 
 std::uint64_t Ksm::scan() {
   const std::uint64_t before = backing_pages();
-  stable_tree_.clear();
-  for (const auto& client : clients_) {
-    for (PageDigest d : client.pages) {
-      ++stable_tree_[d];
-    }
-  }
   scanned_ = true;
-  const std::uint64_t after = backing_pages();
+  const std::uint64_t after = distinct_;
   return before > after ? before - after : 0;
-}
-
-std::uint64_t Ksm::advised_pages() const {
-  std::uint64_t total = 0;
-  for (const auto& client : clients_) {
-    total += client.pages.size();
-  }
-  return total;
-}
-
-std::uint64_t Ksm::backing_pages() const {
-  if (!scanned_) {
-    return advised_pages();
-  }
-  return stable_tree_.size();
 }
 
 double Ksm::density_gain() const {
@@ -52,20 +182,14 @@ double Ksm::density_gain() const {
   if (backing == 0) {
     return 1.0;
   }
-  return static_cast<double>(advised_pages()) / static_cast<double>(backing);
+  return static_cast<double>(advised_) / static_cast<double>(backing);
 }
 
 double Ksm::shared_fraction() const {
-  if (!scanned_ || advised_pages() == 0) {
+  if (!scanned_ || advised_ == 0) {
     return 0.0;
   }
-  std::uint64_t shared = 0;
-  for (const auto& [digest, refs] : stable_tree_) {
-    if (refs > 1) {
-      shared += refs;
-    }
-  }
-  return static_cast<double>(shared) / static_cast<double>(advised_pages());
+  return static_cast<double>(shared_) / static_cast<double>(advised_);
 }
 
 }  // namespace mem

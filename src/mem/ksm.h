@@ -6,9 +6,18 @@
 // identical pages across registered VMs and reports density gains; the
 // multitenant_density example uses it, and the HAP study counts the ksmd
 // scan functions it triggers.
+//
+// The stable tree is an interval map over digest ranges with refcounts,
+// updated *incrementally* by advise()/remove() in O(runs touched) — not
+// rebuilt per scan. Fleet-scale callers advise run-length PageRun ranges
+// (contiguous digests) so a multi-GiB guest costs a handful of interval
+// operations instead of one tree node per page. scan() itself is O(1): it
+// only flips the model between the "advised but not yet merged" and
+// "merged" accounting views.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -17,29 +26,41 @@ namespace mem {
 /// Content hash of a guest page (the model never stores page bytes).
 using PageDigest = std::uint64_t;
 
-/// One registered VM's advised memory range.
-struct KsmClient {
-  std::uint64_t vm_id;
-  std::vector<PageDigest> pages;
+/// A run of `count` consecutive digests starting at `base_digest` — the
+/// run-length representation of one contiguous guest memory region (zero
+/// pages, image pages, private pages) that never materializes per-page.
+struct PageRun {
+  PageRun() = default;
+  PageRun(PageDigest base, std::uint64_t n) : base_digest(base), count(n) {}
+
+  PageDigest base_digest = 0;
+  std::uint64_t count = 0;
 };
 
 class Ksm {
  public:
-  /// Register (MADV_MERGEABLE) a VM's pages.
-  void advise(std::uint64_t vm_id, std::vector<PageDigest> pages);
+  /// Register (MADV_MERGEABLE) a VM's pages, one digest per page.
+  /// Consecutive digests are coalesced into runs internally.
+  void advise(std::uint64_t vm_id, const std::vector<PageDigest>& pages);
+
+  /// Register a VM's pages as digest runs (the fleet-scale fast path).
+  void advise_runs(std::uint64_t vm_id, std::vector<PageRun> runs);
 
   /// Remove a VM (teardown); its contribution to the stable tree is dropped.
   void remove(std::uint64_t vm_id);
 
-  /// One pass of ksmd: builds the stable tree and merges duplicates.
+  /// One pass of ksmd: merges the advised duplicates. The stable tree is
+  /// maintained incrementally, so this only switches the accounting view.
   /// Returns the number of pages newly merged in this pass.
   std::uint64_t scan();
 
   /// Total pages advised across VMs.
-  std::uint64_t advised_pages() const;
+  std::uint64_t advised_pages() const { return advised_; }
 
   /// Pages physically backing the advised set after merging.
-  std::uint64_t backing_pages() const;
+  std::uint64_t backing_pages() const {
+    return scanned_ ? distinct_ : advised_;
+  }
 
   /// advised / backing; 1.0 = no sharing.
   double density_gain() const;
@@ -48,9 +69,43 @@ class Ksm {
   /// VM — pages observable through a KSM timing side channel.
   double shared_fraction() const;
 
+  /// Interval count of the stable tree — an implementation health metric:
+  /// bounded by the number of distinct run boundaries alive, not by churn.
+  std::size_t stable_tree_intervals() const {
+    return tree_.size() + (max_digest_refs_ > 0 ? 1 : 0);
+  }
+
  private:
-  std::vector<KsmClient> clients_;
-  std::unordered_map<PageDigest, std::uint64_t> stable_tree_;  // digest -> refs
+  /// One stable-tree interval [start, end) of digests with a uniform
+  /// refcount; keyed by start in tree_. Intervals are disjoint.
+  struct Interval {
+    PageDigest end = 0;
+    std::uint64_t refs = 0;
+  };
+
+  /// Add (+1) or drop (-1) one reference for every digest in [lo, hi),
+  /// splitting intervals at the boundaries and updating the cached
+  /// advised/backing/shared counters as refcounts cross 0<->1 and 1<->2.
+  void add_range(PageDigest lo, PageDigest hi, bool add);
+
+  /// Re-merge adjacent intervals around [lo, hi] whose refcounts ended up
+  /// equal, so churning clients with heterogeneous run boundaries cannot
+  /// fragment the tree without bound.
+  void coalesce(PageDigest lo, PageDigest hi);
+
+  /// Apply one run's references. Intervals use exclusive ends, which cannot
+  /// express 2^64 — so a run reaching the top digest is decomposed into
+  /// [base, MAX), the MAX digest itself (dedicated refcount), and any
+  /// wrapped remainder, keeping advised/backing/shared exactly in sync.
+  void apply_run(const PageRun& run, bool add);
+  void touch_max_digest(bool add);
+
+  std::map<PageDigest, Interval> tree_;  // digest interval -> refs
+  std::uint64_t max_digest_refs_ = 0;    // refs on digest 2^64-1 (see above)
+  std::unordered_map<std::uint64_t, std::vector<PageRun>> clients_;
+  std::uint64_t advised_ = 0;   // total refs = sum of run lengths
+  std::uint64_t distinct_ = 0;  // total interval length (backing pages)
+  std::uint64_t shared_ = 0;    // sum of len*refs over intervals with refs>1
   bool scanned_ = false;
 };
 

@@ -54,12 +54,22 @@ std::vector<CdfPoint> SampleSet::cdf(std::size_t max_points) const {
     return points;
   }
   const std::size_t n = sorted_.size();
-  const std::size_t step = std::max<std::size_t>(1, n / max_points);
-  for (std::size_t i = 0; i < n; i += step) {
-    points.push_back({sorted_[i], static_cast<double>(i + 1) / static_cast<double>(n)});
-  }
-  if (points.back().fraction < 1.0) {
+  const std::size_t m = std::min(n, max_points);
+  points.reserve(m);
+  if (m == 1) {
+    // A single point can only honor the "maximum is included" promise.
     points.push_back({sorted_.back(), 1.0});
+    return points;
+  }
+  // Indices spread evenly over [0, n-1]; k=0 hits the minimum and k=m-1
+  // the maximum, so neither extreme is ever dropped and the point count
+  // never exceeds max_points. (The previous fixed-stride loop missed the
+  // maximum whenever (n-1) % step != 0 and then over-ran the budget
+  // appending it back.)
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t i = k * (n - 1) / (m - 1);
+    points.push_back(
+        {sorted_[i], static_cast<double>(i + 1) / static_cast<double>(n)});
   }
   return points;
 }

@@ -210,4 +210,113 @@ TEST(KsmTest, PartialOverlap) {
   EXPECT_DOUBLE_EQ(ksm.shared_fraction(), 0.5);
 }
 
+TEST(KsmTest, RunAdviseMatchesPerPageAdvise) {
+  // The run-length fast path must be observationally identical to advising
+  // the same digests one page at a time.
+  Ksm per_page, runs;
+  per_page.advise(1, {100, 101, 102, 103, 200, 201});
+  runs.advise_runs(1, {{100, 4}, {200, 2}});
+  per_page.advise(2, {102, 103, 104, 200});
+  runs.advise_runs(2, {{102, 3}, {200, 1}});
+  EXPECT_EQ(per_page.advised_pages(), runs.advised_pages());
+  EXPECT_EQ(per_page.scan(), runs.scan());
+  EXPECT_EQ(per_page.backing_pages(), runs.backing_pages());
+  EXPECT_DOUBLE_EQ(per_page.density_gain(), runs.density_gain());
+  EXPECT_DOUBLE_EQ(per_page.shared_fraction(), runs.shared_fraction());
+
+  per_page.remove(1);
+  runs.remove(1);
+  EXPECT_EQ(per_page.scan(), runs.scan());
+  EXPECT_EQ(per_page.backing_pages(), runs.backing_pages());
+  EXPECT_DOUBLE_EQ(per_page.shared_fraction(), runs.shared_fraction());
+}
+
+TEST(KsmTest, RunsSplitAndRejoinAcrossPartialOverlaps) {
+  // Three clients whose runs slice each other's intervals: refcounts must
+  // stay exact through every incremental remove, with no full rescan.
+  Ksm ksm;
+  ksm.advise_runs(1, {{0, 100}});
+  ksm.advise_runs(2, {{50, 100}});   // overlaps [50,100)
+  ksm.advise_runs(3, {{75, 50}});    // overlaps both: [75,100) x3, [100,125) x2
+  ksm.scan();
+  EXPECT_EQ(ksm.advised_pages(), 250u);
+  EXPECT_EQ(ksm.backing_pages(), 150u);  // distinct digests 0..150
+  // Digests with refs>=2 span [50,125): refs are 2,3,2 over its three
+  // 25-page slices, so 175 of the 250 advised copies share backing.
+  EXPECT_DOUBLE_EQ(ksm.shared_fraction(), (25 * 2 + 25 * 3 + 25 * 2) / 250.0);
+
+  ksm.remove(2);
+  ksm.scan();
+  EXPECT_EQ(ksm.advised_pages(), 150u);
+  EXPECT_EQ(ksm.backing_pages(), 125u);  // [0,100) + [100,125)
+  EXPECT_DOUBLE_EQ(ksm.shared_fraction(), (25 * 2) / 150.0);  // [75,100)x2
+
+  ksm.remove(1);
+  ksm.remove(3);
+  ksm.scan();
+  EXPECT_EQ(ksm.advised_pages(), 0u);
+  EXPECT_EQ(ksm.backing_pages(), 0u);
+  EXPECT_DOUBLE_EQ(ksm.density_gain(), 1.0);
+}
+
+TEST(KsmTest, EmptyAndZeroLengthRunsAreIgnored) {
+  Ksm ksm;
+  ksm.advise_runs(1, {{10, 0}, {20, 5}, {30, 0}});
+  EXPECT_EQ(ksm.advised_pages(), 5u);
+  ksm.scan();
+  EXPECT_EQ(ksm.backing_pages(), 5u);
+  ksm.remove(1);
+  EXPECT_EQ(ksm.advised_pages(), 0u);
+}
+
+TEST(KsmTest, ChurnWithHeterogeneousBoundariesDoesNotFragmentTheTree) {
+  // A long-lived client plus short-lived clients whose run boundaries all
+  // differ: every removal must coalesce the splits it leaves behind, or
+  // the stable tree would grow ~2 intervals per churn cycle forever.
+  Ksm ksm;
+  ksm.advise_runs(1, {{0, 1000}});
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const mem::PageDigest lo = 100 + (i * 7) % 500;
+    ksm.advise_runs(2, {{lo, 300}});
+    ksm.remove(2);
+  }
+  ksm.scan();
+  EXPECT_EQ(ksm.stable_tree_intervals(), 1u);
+  EXPECT_EQ(ksm.backing_pages(), 1000u);
+  EXPECT_EQ(ksm.advised_pages(), 1000u);
+}
+
+TEST(KsmTest, TopDigestIsTrackedLikeAnyOther) {
+  // Digest 2^64-1 cannot live in an exclusive-end interval, and the run
+  // builder coalesces {MAX, 0} into a wrapping run; both must still count.
+  constexpr mem::PageDigest kMax = ~mem::PageDigest{0};
+  Ksm ksm;
+  ksm.advise(1, {kMax, 0});  // coalesces into {base=kMax, count=2}
+  ksm.advise(2, {kMax});
+  EXPECT_EQ(ksm.advised_pages(), 3u);
+  EXPECT_EQ(ksm.scan(), 1u);  // kMax merges across the two clients
+  EXPECT_EQ(ksm.backing_pages(), 2u);
+  EXPECT_DOUBLE_EQ(ksm.shared_fraction(), 2.0 / 3.0);
+  ksm.remove(1);
+  ksm.scan();
+  EXPECT_EQ(ksm.advised_pages(), 1u);
+  EXPECT_EQ(ksm.backing_pages(), 1u);
+  ksm.remove(2);
+  ksm.scan();
+  EXPECT_EQ(ksm.backing_pages(), 0u);
+  EXPECT_EQ(ksm.stable_tree_intervals(), 0u);
+}
+
+TEST(KsmTest, DuplicateRunsWithinOneClientCountTwice) {
+  // A client advising the same digest range twice holds two references,
+  // exactly like the per-page model advising duplicate digests.
+  Ksm per_page, runs;
+  per_page.advise(1, {7, 8, 7, 8});
+  runs.advise_runs(1, {{7, 2}, {7, 2}});
+  EXPECT_EQ(per_page.scan(), runs.scan());
+  EXPECT_EQ(runs.advised_pages(), 4u);
+  EXPECT_EQ(runs.backing_pages(), 2u);
+  EXPECT_DOUBLE_EQ(per_page.shared_fraction(), runs.shared_fraction());
+}
+
 }  // namespace

@@ -114,6 +114,34 @@ TEST(SampleSetTest, CdfIsMonotonic) {
   EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
 }
 
+TEST(SampleSetTest, CdfAlwaysIncludesTheMaximum) {
+  // Regression: the old fixed-stride down-sampling dropped the maximum
+  // whenever (n-1) % step != 0, then patched it back in by exceeding the
+  // requested point budget. Sweep awkward (n, max_points) combinations.
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 10u, 11u, 100u, 300u, 1000u}) {
+    for (const std::size_t max_points : {1u, 2u, 3u, 10u, 99u, 100u}) {
+      SampleSet s;
+      for (std::size_t i = 0; i < n; ++i) {
+        s.add(static_cast<double>(i));
+      }
+      const auto cdf = s.cdf(max_points);
+      ASSERT_FALSE(cdf.empty());
+      ASSERT_LE(cdf.size(), max_points) << "n=" << n << " m=" << max_points;
+      EXPECT_DOUBLE_EQ(cdf.back().value, static_cast<double>(n - 1))
+          << "n=" << n << " m=" << max_points;
+      EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0)
+          << "n=" << n << " m=" << max_points;
+      if (max_points >= 2) {
+        EXPECT_DOUBLE_EQ(cdf.front().value, 0.0)
+            << "n=" << n << " m=" << max_points;
+      }
+      for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);  // no duplicates
+      }
+    }
+  }
+}
+
 TEST(SampleSetTest, FractionBelow) {
   SampleSet s({1.0, 2.0, 3.0, 4.0});
   EXPECT_DOUBLE_EQ(s.fraction_below(0.5), 0.0);
