@@ -3,12 +3,19 @@
 // Runs the cold-start storm and the density sweep at 1k/4k/10k tenants
 // against a fresh HostSystem each, and reports real wall-clock time and
 // simulator events per second — the first-order answer to "does the engine
-// run as fast as the hardware allows as the fleet grows". Results are
-// written as JSON (default BENCH_fleet_scale.json, see README "Performance")
-// so successive PRs can compare runs; the checked-in copy at the repo root
-// records the trajectory including the pre-optimization baseline.
+// run as fast as the hardware allows as the fleet grows". With --hosts M
+// (M > 1) it additionally shards the largest storm across an M-host
+// fleet::Cluster under every placement policy, running each policy twice
+// and failing hard unless the two reports are byte-identical — the
+// cluster's determinism guarantee is checked on every bench run, not just
+// in unit tests. Results are written as JSON (default
+// BENCH_fleet_scale.json, see README "Performance") so successive PRs can
+// compare runs; the checked-in copy at the repo root records the
+// trajectory including the pre-optimization baseline. CI's perf gate
+// (tools/check_perf_trajectory.py) diffs a fresh run against that copy.
 //
-// Usage: fleet_scale [--tenants N[,N...]] [--out PATH] [--no-json]
+// Usage: fleet_scale [--tenants N[,N...]] [--hosts M] [--out PATH] [--no-json]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +25,9 @@
 
 #include "bench/bench_util.h"
 #include "core/host_system.h"
+#include "fleet/cluster.h"
 #include "fleet/engine.h"
+#include "fleet/placement.h"
 #include "fleet/report.h"
 #include "fleet/scenario.h"
 #include "stats/table.h"
@@ -52,6 +61,73 @@ ScaleResult run_one(const fleet::Scenario& scenario) {
   r.admitted = report.admitted;
   r.completed = report.completed;
   return r;
+}
+
+struct ClusterScaleResult {
+  std::string policy;
+  int hosts = 0;
+  int tenants = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  int admitted = 0;
+  int completed = 0;
+  std::uint64_t ksm_shared_pages = 0;
+  std::uint64_t ksm_backing_pages = 0;
+  double boot_p50_ms = 0.0;
+  double boot_p99_ms = 0.0;
+  double makespan_ms = 0.0;
+};
+
+/// One policy run against a fresh cluster; fills wall-clock and returns
+/// the report (whose to_text() the caller uses for the determinism check).
+fleet::FleetReport run_cluster_once(const fleet::Scenario& scenario,
+                                    double* wall_ms) {
+  fleet::Cluster cluster(scenario.cluster);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = cluster.run(scenario);
+  const auto t1 = std::chrono::steady_clock::now();
+  *wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return report;
+}
+
+/// Runs the storm under every placement policy, twice each (byte-identical
+/// reports or bust). Returns false on a determinism violation.
+bool run_cluster_sweep(int tenants, int hosts,
+                       std::vector<ClusterScaleResult>* results) {
+  for (const auto kind : fleet::all_placement_kinds()) {
+    const auto scenario = fleet::Scenario::cluster_storm(tenants, hosts, kind);
+    double wall_a = 0.0;
+    double wall_b = 0.0;
+    const auto a = run_cluster_once(scenario, &wall_a);
+    const auto b = run_cluster_once(scenario, &wall_b);
+    // to_text() deliberately omits events_processed (compatibility
+    // surface), so compare it explicitly too.
+    if (a.to_text() != b.to_text() ||
+        a.events_processed != b.events_processed) {
+      std::fprintf(stderr,
+                   "fleet_scale: DETERMINISM VIOLATION — policy %s produced "
+                   "different reports across two fresh runs\n",
+                   fleet::placement_kind_name(kind).c_str());
+      return false;
+    }
+    ClusterScaleResult r;
+    r.policy = fleet::placement_kind_name(kind);
+    r.hosts = hosts;
+    r.tenants = tenants;
+    r.wall_ms = std::min(wall_a, wall_b);
+    r.events = a.events_processed;
+    r.admitted = a.admitted;
+    r.completed = a.completed;
+    r.ksm_shared_pages = a.ksm.shared_pages;
+    r.ksm_backing_pages = a.ksm.backing_pages;
+    r.boot_p50_ms = a.cluster_boot_ms.empty() ? 0.0
+                                              : a.cluster_boot_ms.percentile(50);
+    r.boot_p99_ms = a.cluster_boot_ms.empty() ? 0.0
+                                              : a.cluster_boot_ms.percentile(99);
+    r.makespan_ms = sim::to_millis(a.makespan);
+    results->push_back(r);
+  }
+  return true;
 }
 
 std::vector<int> parse_sizes(const char* arg) {
@@ -97,7 +173,8 @@ const BaselineEntry* baseline_for(const ScaleResult& r) {
   return nullptr;
 }
 
-void write_json(const std::string& path, const std::vector<ScaleResult>& runs) {
+void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
+                const std::vector<ClusterScaleResult>& cluster_runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
@@ -105,7 +182,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"unit\": {\"wall_ms\": \"milliseconds\", "
                   "\"events_per_sec\": \"simulator events per second\"},\n");
   std::fprintf(f, "  \"runs\": [\n");
@@ -152,7 +229,34 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs) {
                  r.scenario.c_str(), r.tenants, b->wall_ms / r.wall_ms);
     first = false;
   }
-  std::fprintf(f, "}\n}\n");
+  std::fprintf(f, "}%s\n", cluster_runs.empty() ? "" : ",");
+  if (!cluster_runs.empty()) {
+    std::fprintf(f, "  \"cluster\": {\n");
+    std::fprintf(f, "    \"scenario\": \"cluster-storm\",\n");
+    std::fprintf(f, "    \"hosts\": %d,\n", cluster_runs.front().hosts);
+    std::fprintf(f, "    \"tenants\": %d,\n", cluster_runs.front().tenants);
+    std::fprintf(f, "    \"determinism\": \"each policy run twice against "
+                    "fresh clusters, reports byte-identical\",\n");
+    std::fprintf(f, "    \"runs\": [\n");
+    for (std::size_t i = 0; i < cluster_runs.size(); ++i) {
+      const ClusterScaleResult& r = cluster_runs[i];
+      std::fprintf(f,
+                   "      {\"policy\": \"%s\", \"wall_ms\": %.1f, "
+                   "\"events\": %llu, \"admitted\": %d, \"completed\": %d, "
+                   "\"ksm_shared_pages\": %llu, \"ksm_backing_pages\": %llu, "
+                   "\"boot_p50_ms\": %.2f, "
+                   "\"boot_p99_ms\": %.2f, \"makespan_ms\": %.2f}%s\n",
+                   r.policy.c_str(), r.wall_ms,
+                   static_cast<unsigned long long>(r.events), r.admitted,
+                   r.completed,
+                   static_cast<unsigned long long>(r.ksm_shared_pages),
+                   static_cast<unsigned long long>(r.ksm_backing_pages),
+                   r.boot_p50_ms, r.boot_p99_ms, r.makespan_ms,
+                   i + 1 < cluster_runs.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }\n");
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("(json written to %s)\n", path.c_str());
 }
@@ -163,17 +267,20 @@ int main(int argc, char** argv) {
   std::vector<int> sizes = {1000, 4000, 10000};
   std::string out = "BENCH_fleet_scale.json";
   bool json = true;
+  int hosts = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
       sizes = parse_sizes(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
+      hosts = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
       json = false;
     } else {
       std::fprintf(stderr,
-                   "usage: fleet_scale [--tenants N[,N...]] [--out PATH] "
-                   "[--no-json]\n");
+                   "usage: fleet_scale [--tenants N[,N...]] [--hosts M] "
+                   "[--out PATH] [--no-json]\n");
       return 2;
     }
   }
@@ -187,6 +294,10 @@ int main(int argc, char** argv) {
                    "fleet_scale: tenant sizes must be positive integers\n");
       return 2;
     }
+  }
+  if (hosts < 1) {
+    std::fprintf(stderr, "fleet_scale: --hosts must be >= 1\n");
+    return 2;
   }
 
   benchutil::print_header(
@@ -214,8 +325,34 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.to_text().c_str());
 
+  std::vector<ClusterScaleResult> cluster_runs;
+  if (hosts > 1) {
+    const int cluster_tenants = *std::max_element(sizes.begin(), sizes.end());
+    std::printf("cluster-storm: %d tenants sharded across %d hosts, every "
+                "placement policy run twice\n\n",
+                cluster_tenants, hosts);
+    if (!run_cluster_sweep(cluster_tenants, hosts, &cluster_runs)) {
+      return 1;
+    }
+    stats::Table cluster_table({"policy", "wall (ms)", "admitted", "completed",
+                                "ksm shared", "ksm backing", "boot p50 (ms)",
+                                "boot p99 (ms)", "makespan (ms)"});
+    for (const ClusterScaleResult& r : cluster_runs) {
+      cluster_table.add_row(
+          {r.policy, stats::Table::num(r.wall_ms), std::to_string(r.admitted),
+           std::to_string(r.completed), std::to_string(r.ksm_shared_pages),
+           std::to_string(r.ksm_backing_pages),
+           stats::Table::num(r.boot_p50_ms), stats::Table::num(r.boot_p99_ms),
+           stats::Table::num(r.makespan_ms)});
+    }
+    std::printf("%s\n", cluster_table.to_text().c_str());
+    std::printf("determinism: %zu policies x 2 fresh runs each, reports "
+                "byte-identical\n",
+                cluster_runs.size());
+  }
+
   if (json) {
-    write_json(out, runs);
+    write_json(out, runs, cluster_runs);
   }
   return 0;
 }

@@ -5,7 +5,8 @@
 // storm across four platform types, a density sweep that packs hypervisor
 // tenants until the host runs out of RAM (with and without KSM), and a
 // steady-state mixed-platform fleet — each against a fresh HostSystem so
-// output is byte-identical for identical seeds.
+// output is byte-identical for identical seeds, then shards the storm
+// across a 4-host fleet::Cluster under every placement policy.
 #include <cstdio>
 #include <string>
 
@@ -13,7 +14,9 @@
 #include "platforms/platform.h"
 #include "core/export.h"
 #include "core/host_system.h"
+#include "fleet/cluster.h"
 #include "fleet/engine.h"
+#include "fleet/placement.h"
 #include "fleet/scenario.h"
 
 namespace {
@@ -74,6 +77,26 @@ int main() {
   std::printf("--- %s: Poisson arrivals, all workload classes ---\n",
               mix.name.c_str());
   print_report(mix_report);
+
+  // --- 4. Cluster placement-policy sweep -----------------------------------
+  // The same storm sharded across 4 hosts: policy decides where each tenant
+  // lands, the per-host engine mechanism decides what it costs.
+  bool exported_cluster_cdf = false;
+  for (const auto kind : fleet::all_placement_kinds()) {
+    const auto cluster_scenario = fleet::Scenario::cluster_storm(128, 4, kind);
+    fleet::Cluster cluster(cluster_scenario.cluster);
+    const auto report = cluster.run(cluster_scenario);
+    std::printf("--- %s across %d hosts, placement %s ---\n",
+                cluster_scenario.name.c_str(),
+                cluster_scenario.cluster.host_count,
+                fleet::placement_kind_name(kind).c_str());
+    print_report(report);
+    if (!exported_cluster_cdf) {
+      benchutil::note_export(core::export_cdfs("fleet_cluster_storm",
+                                               {report.cluster_boot_cdf()}));
+      exported_cluster_cdf = true;
+    }
+  }
 
   return 0;
 }

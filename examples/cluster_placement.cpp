@@ -1,0 +1,53 @@
+// Does placement policy matter once you have more than one host?
+//
+// coldstart_storm.cpp shows 64 tenants contending for ONE host. This
+// example shards a 256-tenant storm across a 4-host fleet::Cluster under
+// each placement policy and compares what an operator actually trades:
+// round-robin and least-loaded spread load (best boot tail), ksm-affinity
+// co-locates tenants sharing a platform image so their KSM digest runs
+// merge (fewest backing pages -> most headroom), at some cost in tail
+// latency on the piled-up hosts.
+#include <cstdio>
+
+#include "fleet/cluster.h"
+#include "fleet/placement.h"
+#include "fleet/scenario.h"
+#include "stats/table.h"
+
+int main() {
+  constexpr int kTenants = 256;
+  constexpr int kHosts = 4;
+
+  stats::Table table({"policy", "admitted", "ksm backing pages",
+                      "density gain", "boot p50 (ms)", "boot p99 (ms)"});
+  std::printf("cluster-storm: %d tenants across %d hosts, one policy at a "
+              "time\n\n", kTenants, kHosts);
+
+  fleet::FleetReport last;
+  for (const auto kind : fleet::all_placement_kinds()) {
+    const auto scenario = fleet::Scenario::cluster_storm(kTenants, kHosts, kind);
+    fleet::Cluster cluster(scenario.cluster);  // fresh hosts per policy
+    const auto report = cluster.run(scenario);
+    table.add_row({fleet::placement_kind_name(kind),
+                   std::to_string(report.admitted),
+                   std::to_string(report.ksm.backing_pages),
+                   stats::Table::num(report.ksm.density_gain),
+                   stats::Table::num(report.cluster_boot_ms.percentile(50)),
+                   stats::Table::num(report.cluster_boot_ms.percentile(99))});
+    last = report;
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf(
+      "Reading the table: all three policies admit every tenant (these\n"
+      "hosts have RAM to spare), but ksm-affinity needs the fewest backing\n"
+      "pages: same-image guests share their zero-page and image digest\n"
+      "runs only when they sit on the SAME host's KSM stable tree. Under\n"
+      "RAM pressure that headroom becomes extra admissions -- run\n"
+      "fleet_scale --hosts 4 to see it at 10k tenants.\n\n"
+      "The per-host rollup of the last run (%s) shows the other side:\n"
+      "piling one platform per host narrows each host's attack surface\n"
+      "(hap fns column) but concentrates its boot storm.\n\n%s\n",
+      last.placement.c_str(), last.to_text().c_str());
+  return 0;
+}

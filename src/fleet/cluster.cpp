@@ -1,0 +1,44 @@
+#include "fleet/cluster.h"
+
+#include <stdexcept>
+
+#include "fleet/engine.h"
+#include "fleet/placement.h"
+
+namespace fleet {
+
+Cluster::Cluster(const ClusterTopology& topo) {
+  if (topo.host_count < 1) {
+    throw std::invalid_argument("Cluster: host_count must be >= 1");
+  }
+  hosts_.reserve(static_cast<std::size_t>(topo.host_count));
+  for (int i = 0; i < topo.host_count; ++i) {
+    core::HostSystemSpec spec;
+    if (topo.cpu_threads > 0) {
+      spec.cpu_threads = topo.cpu_threads;
+    }
+    if (topo.ram_bytes > 0) {
+      spec.ram_bytes = topo.ram_bytes;
+    }
+    if (topo.nic_gbps > 0.0) {
+      spec.nic.line_rate_bps = topo.nic_gbps * 1e9;
+    }
+    // Distinct per-host RNG streams; host 0 keeps the default seed so a
+    // 1-host cluster matches the single-host engine byte for byte.
+    spec.rng_seed += 0x9E37'79B9'7F4A'7C15ull * static_cast<std::uint64_t>(i);
+    hosts_.push_back(std::make_unique<core::HostSystem>(spec));
+  }
+}
+
+FleetReport Cluster::run(const Scenario& scenario) {
+  const auto policy = make_placement(scenario.placement);
+  std::vector<core::HostSystem*> hosts;
+  hosts.reserve(hosts_.size());
+  for (const auto& h : hosts_) {
+    hosts.push_back(h.get());
+  }
+  FleetEngine engine(hosts, policy.get());
+  return engine.run(scenario);
+}
+
+}  // namespace fleet

@@ -1,0 +1,43 @@
+// fleet::Cluster — M HostSystem shards behind one placement policy.
+//
+// The cluster is the sharding layer the single shared host could not give
+// us: each host keeps its own page cache, NVMe, NIC, kernel ftrace and KSM
+// stable tree, tenants are routed to a host by the scenario's
+// PlacementPolicy at every (re-)arrival, and one global deterministic
+// event queue merges all hosts' timelines so cluster runs stay
+// byte-reproducible. This mirrors policy-aware middleware design (RAFDA's
+// separation of application logic from distribution policy; RDA's
+// device/server partitioning): the policy decides *where*, the per-host
+// engine mechanism decides *what it costs*.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/host_system.h"
+#include "fleet/report.h"
+#include "fleet/scenario.h"
+
+namespace fleet {
+
+class Cluster {
+ public:
+  /// Build host_count hosts from the topology. Host 0 uses the default
+  /// HostSystemSpec RNG seed (so a 1-host cluster reproduces the
+  /// single-host engine byte for byte); later hosts perturb it.
+  explicit Cluster(const ClusterTopology& topo);
+
+  /// Run one scenario across the cluster with scenario.placement deciding
+  /// where each tenant lands. Deterministic against fresh hosts; reuse
+  /// warms page caches and advances host RNG streams, so build a fresh
+  /// Cluster per reproducible run.
+  FleetReport run(const Scenario& scenario);
+
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  core::HostSystem& host(int i) { return *hosts_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  std::vector<std::unique_ptr<core::HostSystem>> hosts_;
+};
+
+}  // namespace fleet

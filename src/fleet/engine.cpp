@@ -111,42 +111,91 @@ bool is_hypervisor_backed(PlatformId id) {
   return false;
 }
 
-double FleetEngine::cpu_factor() const {
-  const double threads = static_cast<double>(host_->spec().cpu_threads);
-  return std::max(1.0, cpu_demand_ / threads);
+FleetEngine::FleetEngine(core::HostSystem& host) {
+  shards_.emplace_back();
+  shards_.back().host = &host;
 }
 
-std::uint64_t FleetEngine::resident_bytes() const {
-  return non_ksm_resident_ + ksm_.backing_pages() * kFleetPageBytes;
-}
-
-void FleetEngine::note_peaks() {
-  report_.peak_active = std::max(report_.peak_active, active_);
-  report_.peak_cpu_demand = std::max(
-      report_.peak_cpu_demand,
-      cpu_demand_ / static_cast<double>(host_->spec().cpu_threads));
-  const std::uint64_t resident = resident_bytes();
-  if (resident >= report_.peak_resident_bytes) {
-    report_.peak_resident_bytes = resident;
-    // Snapshot density at the high-water mark; teardowns later drain the
-    // stable tree, so end-of-run numbers would always read empty.
-    report_.ksm.advised_pages = ksm_.advised_pages();
-    report_.ksm.backing_pages = ksm_.backing_pages();
-    report_.ksm.density_gain = ksm_.density_gain();
-    report_.ksm.shared_fraction = ksm_.shared_fraction();
+FleetEngine::FleetEngine(const std::vector<core::HostSystem*>& hosts,
+                         PlacementPolicy* policy)
+    : policy_(policy) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("FleetEngine: needs at least one host");
+  }
+  shards_.reserve(hosts.size());
+  for (core::HostSystem* h : hosts) {
+    if (h == nullptr) {
+      throw std::invalid_argument("FleetEngine: null host");
+    }
+    shards_.emplace_back();
+    shards_.back().host = h;
   }
 }
 
-bool FleetEngine::admit(Tenant& t, const Scenario& s) {
+std::uint64_t FleetEngine::Shard::resident_bytes() const {
+  return non_ksm_resident + ksm.backing_pages() * kFleetPageBytes;
+}
+
+double FleetEngine::Shard::cpu_factor() const {
+  const double threads = static_cast<double>(host->spec().cpu_threads);
+  return std::max(1.0, cpu_demand / threads);
+}
+
+void FleetEngine::note_peaks(Shard& sh) {
+  report_.peak_active = std::max(report_.peak_active, active_);
+  report_.peak_cpu_demand = std::max(
+      report_.peak_cpu_demand,
+      sh.cpu_demand / static_cast<double>(sh.host->spec().cpu_threads));
+
+  sh.rollup.peak_active = std::max(sh.rollup.peak_active, sh.active);
+  const std::uint64_t shard_resident = sh.resident_bytes();
+  if (shard_resident >= sh.rollup.peak_resident_bytes) {
+    sh.rollup.peak_resident_bytes = shard_resident;
+    sh.rollup.ksm.advised_pages = sh.ksm.advised_pages();
+    sh.rollup.ksm.backing_pages = sh.ksm.backing_pages();
+    sh.rollup.ksm.shared_pages = sh.ksm.shared_pages();
+    sh.rollup.ksm.density_gain = sh.ksm.density_gain();
+    sh.rollup.ksm.shared_fraction = sh.ksm.shared_fraction();
+  }
+
+  std::uint64_t resident = 0;
+  for (const Shard& s : shards_) {
+    resident += s.resident_bytes();
+  }
+  if (resident >= report_.peak_resident_bytes) {
+    report_.peak_resident_bytes = resident;
+    // Snapshot density at the high-water mark; teardowns later drain the
+    // stable trees, so end-of-run numbers would always read empty.
+    std::uint64_t advised = 0;
+    std::uint64_t backing = 0;
+    std::uint64_t shared = 0;
+    for (const Shard& s : shards_) {
+      advised += s.ksm.advised_pages();
+      backing += s.ksm.backing_pages();
+      shared += s.ksm.shared_pages();
+    }
+    report_.ksm.advised_pages = advised;
+    report_.ksm.backing_pages = backing;
+    report_.ksm.shared_pages = shared;
+    report_.ksm.density_gain =
+        backing == 0 ? 1.0
+                     : static_cast<double>(advised) / static_cast<double>(backing);
+    report_.ksm.shared_fraction =
+        advised == 0 ? 0.0
+                     : static_cast<double>(shared) / static_cast<double>(advised);
+  }
+}
+
+bool FleetEngine::admit(Shard& sh, Tenant& t, const Scenario& s) {
   const std::uint64_t overhead = platform_overhead_bytes(t.platform_id);
   if (is_hypervisor_backed(t.platform_id) && s.enable_ksm) {
-    ksm_.advise_runs(t.id, guest_page_runs(t.id, t.platform_id,
-                                           s.guest_ram_bytes, s.image_bytes));
-    ksm_.scan();
+    sh.ksm.advise_runs(t.id, guest_page_runs(t.id, t.platform_id,
+                                             s.guest_ram_bytes, s.image_bytes));
+    sh.ksm.scan();
     t.resident_bytes = overhead;
-    if (resident_bytes() + overhead > host_ram_cap_) {
-      ksm_.remove(t.id);
-      ksm_.scan();
+    if (sh.resident_bytes() + overhead > sh.ram_cap) {
+      sh.ksm.remove(t.id);
+      sh.ksm.scan();
       return false;
     }
     t.ksm_registered = true;
@@ -156,65 +205,116 @@ bool FleetEngine::admit(Tenant& t, const Scenario& s) {
     t.resident_bytes = is_hypervisor_backed(t.platform_id)
                            ? overhead + s.guest_ram_bytes
                            : overhead + s.guest_ram_bytes / 4;
-    if (resident_bytes() + t.resident_bytes > host_ram_cap_) {
+    if (sh.resident_bytes() + t.resident_bytes > sh.ram_cap) {
       return false;
     }
   }
-  non_ksm_resident_ += t.resident_bytes;
+  sh.non_ksm_resident += t.resident_bytes;
   return true;
 }
 
+int FleetEngine::place(const Tenant& t, const Scenario& s) {
+  views_.clear();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& sh = shards_[i];
+    HostView v;
+    v.index = static_cast<int>(i);
+    v.ram_cap_bytes = sh.ram_cap;
+    v.resident_bytes = sh.resident_bytes();
+    v.active_tenants = sh.active;
+    const auto it = sh.tenants_by_platform.find(t.platform_id);
+    v.same_platform_tenants =
+        it == sh.tenants_by_platform.end() ? 0 : it->second;
+    views_.push_back(v);
+  }
+  PlacementRequest req;
+  req.tenant_id = t.id;
+  req.platform_id = t.platform_id;
+  req.hypervisor_backed = is_hypervisor_backed(t.platform_id);
+  req.guest_ram_bytes = s.guest_ram_bytes;
+  const int host = policy_->place(req, views_);
+  if (host < 0 || host >= static_cast<int>(shards_.size())) {
+    throw std::out_of_range(
+        "PlacementPolicy::place returned an invalid host index");
+  }
+  return host;
+}
+
 void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
-  const bool dense_stop =
-      s.stop_at_first_oom && report_.first_oom_tenant >= 0;
-  if (dense_stop || !admit(t, s)) {
+  // A tripped density-stop latch rejects before placement: no host is
+  // consulted, no policy state advances, and the rejection counts only in
+  // the fleet-level total — not against any host's rollup.
+  if (s.stop_at_first_oom && report_.first_oom_tenant >= 0) {
+    t.outcome.admitted = false;
+    ++report_.rejected;
+    return;
+  }
+
+  const int host = shards_.size() > 1 ? place(t, s) : 0;
+  Shard& sh = shards_[static_cast<std::size_t>(host)];
+  t.host = host;
+  t.platform = sh.platforms.at(t.platform_id).get();
+
+  if (!admit(sh, t, s)) {
     if (report_.first_oom_tenant < 0) {
       report_.first_oom_tenant = static_cast<std::int64_t>(t.id);
     }
     t.outcome.admitted = false;
     ++report_.rejected;
+    ++sh.rollup.rejected;
     return;
   }
   t.outcome.admitted = true;
   ++report_.admitted;
+  ++sh.rollup.admitted;
   ++active_;
-  cpu_demand_ += kBootVcpus;
-  note_peaks();
+  ++sh.active;
+  ++sh.tenants_by_platform[t.platform_id];
+  sh.cpu_demand += kBootVcpus;
+  note_peaks(sh);
 
   // Boot: the platform's sampled end-to-end sequence plus pulling the boot
-  // image through the shared host page cache, both stretched by CPU
-  // contention across the fleet.
+  // image through the shard's host page cache, both stretched by CPU
+  // contention across that host's fleet share.
   const sim::Nanos arrival = t.clock.now();
   t.platform->boot(t.clock, t.rng);
   const sim::Nanos boot_ns = t.clock.now() - arrival;
 
-  auto& cache = host_->page_cache();
+  auto& cache = sh.host->page_cache();
   const std::uint64_t misses =
       cache.access_range(image_file_id(t.platform_id), 0, s.image_bytes);
   sim::Nanos image_ns = 0;
   if (misses > 0) {
-    image_ns = host_->nvme().read(misses * hostk::PageCache::kPageSize, t.rng);
+    image_ns =
+        sh.host->nvme().read(misses * hostk::PageCache::kPageSize, t.rng);
   } else {
     image_ns = sim::micros(50);  // fully cache-resident image
   }
 
   const auto total = static_cast<sim::Nanos>(
-      static_cast<double>(boot_ns + image_ns) * cpu_factor());
+      static_cast<double>(boot_ns + image_ns) * sh.cpu_factor());
   t.clock.advance_to(arrival + total);
   t.outcome.boot_latency = total;
   queue_.push(arrival + total, t.id, EventKind::kBootDone);
 }
 
 void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
-  cpu_demand_ -= kBootVcpus;
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+  sh.cpu_demand -= kBootVcpus;
   // One string-keyed lookup per tenant, here; phases reuse the cached
   // pointer. Creating the entry lazily (not at tenant setup) keeps
   // platforms whose tenants never booted out of the report table.
   auto& stats = report_.by_platform[t.platform->name()];
   t.stats = &stats;
   stats.platform = t.platform->name();
-  ++stats.tenants;
+  if (!t.counted_in_stats) {
+    // Distinct tenants, not boots: churn re-arrivals add boot/phase
+    // samples but must not inflate the fleet-composition column.
+    ++stats.tenants;
+    t.counted_in_stats = true;
+  }
   stats.boot_ms.add(sim::to_millis(t.outcome.boot_latency));
+  report_.cluster_boot_ms.add(sim::to_millis(t.outcome.boot_latency));
 
   if (t.phases.empty()) {
     queue_.push(t.clock.now(), t.id, EventKind::kTeardown);
@@ -225,23 +325,25 @@ void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
 
 void FleetEngine::start_phase(Tenant& t, platforms::WorkloadClass w,
                               const Scenario& s) {
-  cpu_demand_ += workload_vcpus(w);
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+  sh.cpu_demand += workload_vcpus(w);
   if (w == WorkloadClass::kNetwork) {
-    ++net_active_;
+    ++sh.net_active;
   }
-  note_peaks();
+  note_peaks(sh);
   t.phase_start = t.clock.now();
   t.clock.advance(phase_cost(t, w, s));
   queue_.push(t.clock.now(), t.id, EventKind::kPhaseDone);
 }
 
 void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
   const WorkloadClass w = t.phases[static_cast<std::size_t>(t.next_phase)];
-  cpu_demand_ -= workload_vcpus(w);
+  sh.cpu_demand -= workload_vcpus(w);
   if (w == WorkloadClass::kNetwork) {
-    --net_active_;
+    --sh.net_active;
   }
-  t.platform->record_workload(w, t.rng);  // fleet-wide HAP window
+  t.platform->record_workload(w, t.rng);  // this host's HAP window
   t.stats->phase_ms.add(sim::to_millis(t.clock.now() - t.phase_start));
   ++t.next_phase;
   ++t.outcome.phases_run;
@@ -256,22 +358,44 @@ void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
   queue_.push(t.clock.now(), t.id, EventKind::kTeardown);
 }
 
-void FleetEngine::handle_teardown(Tenant& t, const Scenario&) {
+void FleetEngine::handle_teardown(Tenant& t, const Scenario& s) {
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
   if (t.ksm_registered) {
-    ksm_.remove(t.id);
-    ksm_.scan();
+    sh.ksm.remove(t.id);
+    sh.ksm.scan();
     t.ksm_registered = false;
   }
-  non_ksm_resident_ -= t.resident_bytes;
+  sh.non_ksm_resident -= t.resident_bytes;
   t.resident_bytes = 0;
   --active_;
+  --sh.active;
+  --sh.tenants_by_platform[t.platform_id];
   t.outcome.completed = true;
   t.outcome.completion = t.clock.now();
+  ++t.outcome.rounds_completed;
   ++report_.completed;
+
+  if (t.rounds_left > 0) {
+    // Churn: idle out the gap, then re-enter the fleet. Placement and
+    // admission run again, so the tenant may land on a different host or
+    // be rejected if the fleet filled up meanwhile. The outcome's
+    // per-round fields restart here so a rejected re-arrival cannot keep
+    // a stale completed/boot record from the previous round.
+    --t.rounds_left;
+    t.next_phase = 0;
+    t.clock.advance(s.churn_gap);
+    t.outcome.arrival = t.clock.now();
+    t.outcome.boot_latency = 0;
+    t.outcome.completion = 0;
+    t.outcome.completed = false;
+    ++report_.churn_rearrivals;
+    queue_.push(t.clock.now(), t.id, EventKind::kArrival);
+  }
 }
 
 sim::Nanos FleetEngine::phase_cost(Tenant& t, WorkloadClass w,
                                    const Scenario& s) {
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
   // Lognormal around the scenario mean (mu = -sigma^2/2 keeps E[X] = mean).
   constexpr double kSigma = 0.35;
   const double base_ms =
@@ -294,21 +418,22 @@ sim::Nanos FleetEngine::phase_cost(Tenant& t, WorkloadClass w,
       break;
     }
     case WorkloadClass::kIo: {
-      auto& cache = host_->page_cache();
+      auto& cache = sh.host->page_cache();
       const std::uint64_t misses = cache.access_range(
           0xD47A'0000ull + t.id, 0, s.io_bytes_per_phase);
       sim::Nanos io_ns = 0;
       if (misses > 0) {
-        io_ns = host_->nvme().read(misses * hostk::PageCache::kPageSize, t.rng);
+        io_ns =
+            sh.host->nvme().read(misses * hostk::PageCache::kPageSize, t.rng);
       }
       cost = base / 5 + io_ns;
       break;
     }
     case WorkloadClass::kNetwork: {
-      auto& nic = host_->nic();
+      auto& nic = sh.host->nic();
       const sim::Nanos wire =
           nic.transfer_time(s.net_bytes_per_phase, t.rng) *
-          std::max(1, net_active_);
+          std::max(1, sh.net_active);
       cost = base / 10 + wire + nic.latency(t.rng);
       break;
     }
@@ -316,7 +441,7 @@ sim::Nanos FleetEngine::phase_cost(Tenant& t, WorkloadClass w,
       cost = base / 10;
       break;
   }
-  return static_cast<sim::Nanos>(static_cast<double>(cost) * cpu_factor());
+  return static_cast<sim::Nanos>(static_cast<double>(cost) * sh.cpu_factor());
 }
 
 FleetReport FleetEngine::run(const Scenario& s) {
@@ -324,30 +449,50 @@ FleetReport FleetEngine::run(const Scenario& s) {
     throw std::invalid_argument(
         "FleetEngine::run: scenario needs a platform mix and a workload mix");
   }
+  if (shards_.size() > 1 && policy_ == nullptr) {
+    throw std::invalid_argument(
+        "FleetEngine::run: cluster runs need a placement policy");
+  }
   queue_ = EventQueue{};
   report_ = FleetReport{};
   report_.scenario = s.name;
   report_.seed = s.seed;
+  if (shards_.size() > 1) {
+    report_.placement = policy_->name();
+  }
   tenants_.clear();
-  ksm_ = mem::Ksm{};
   global_clock_.reset();
   active_ = 0;
-  net_active_ = 0;
-  cpu_demand_ = 0.0;
-  non_ksm_resident_ = 0;
-  host_ram_cap_ = s.host_ram_override_bytes != 0 ? s.host_ram_override_bytes
-                                                 : host_->spec().ram_bytes;
+  if (policy_ != nullptr) {
+    policy_->reset();
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = shards_[i];
+    sh.ksm = mem::Ksm{};
+    sh.platforms.clear();
+    sh.active = 0;
+    sh.net_active = 0;
+    sh.cpu_demand = 0.0;
+    sh.non_ksm_resident = 0;
+    sh.ram_cap = s.host_ram_override_bytes != 0 ? s.host_ram_override_bytes
+                                                : sh.host->spec().ram_bytes;
+    sh.tenants_by_platform.clear();
+    sh.rollup = HostRollup{};
+    sh.rollup.host = static_cast<int>(i);
+  }
 
   sim::Rng rng(s.seed);
 
-  // One shared platform instance per distinct id in the mix.
-  platforms_.clear();
+  // One shared platform instance per distinct id in the mix, per shard.
   double mix_total = 0.0;
   for (const auto& share : s.platform_mix) {
     mix_total += share.weight;
-    if (platforms_.find(share.id) == platforms_.end()) {
-      platforms_[share.id] =
-          platforms::PlatformFactory::create(share.id, *host_);
+    for (Shard& sh : shards_) {
+      if (sh.platforms.find(share.id) == sh.platforms.end()) {
+        sh.platforms[share.id] =
+            platforms::PlatformFactory::create(share.id, *sh.host);
+      }
     }
   }
   double workload_total = 0.0;
@@ -400,7 +545,9 @@ FleetReport FleetEngine::run(const Scenario& s) {
   }
   std::sort(arrivals.begin(), arrivals.end());
 
-  host_->kernel().ftrace().start();
+  for (Shard& sh : shards_) {
+    sh.host->kernel().ftrace().start();
+  }
 
   tenants_.reserve(static_cast<std::size_t>(s.tenant_count));
   for (int i = 0; i < s.tenant_count; ++i) {
@@ -408,9 +555,12 @@ FleetReport FleetEngine::run(const Scenario& s) {
     Tenant& t = tenants_.back();
     t.id = static_cast<std::uint64_t>(i);
     t.platform_id = pick_platform(rng);
-    t.platform = platforms_.at(t.platform_id).get();
+    // Named from shard 0's instance here; re-bound to the placed shard's
+    // instance at every (re-)arrival.
+    t.platform = shards_.front().platforms.at(t.platform_id).get();
     t.rng = rng.fork();
     t.clock = sim::Clock(arrivals[static_cast<std::size_t>(i)]);
+    t.rounds_left = s.churn_rounds;
     t.phases.reserve(static_cast<std::size_t>(s.phases_per_tenant));
     for (int p = 0; p < s.phases_per_tenant; ++p) {
       t.phases.push_back(pick_workload(t.rng));
@@ -422,9 +572,11 @@ FleetReport FleetEngine::run(const Scenario& s) {
                 EventKind::kArrival);
   }
 
-  const std::uint64_t cache_hits0 = host_->page_cache().hits();
-  const std::uint64_t cache_miss0 = host_->page_cache().misses();
-  const std::uint64_t nvme_read0 = host_->nvme().bytes_read();
+  for (Shard& sh : shards_) {
+    sh.cache_hits0 = sh.host->page_cache().hits();
+    sh.cache_misses0 = sh.host->page_cache().misses();
+    sh.nvme_read0 = sh.host->nvme().bytes_read();
+  }
 
   sim::Nanos first_arrival = arrivals.empty() ? 0 : arrivals.front();
   sim::Nanos last_event = first_arrival;
@@ -450,21 +602,33 @@ FleetReport FleetEngine::run(const Scenario& s) {
     }
   }
 
-  host_->kernel().ftrace().stop();
-  const auto& ftrace = host_->kernel().ftrace();
-  report_.hap.distinct_functions = ftrace.distinct_functions();
-  report_.hap.total_invocations = ftrace.total_invocations();
-  const auto& registry = host_->kernel().registry();
-  for (const auto& [fn, count] : ftrace.counts()) {
-    (void)count;
-    report_.hap.extended_hap += epss_.score(registry.function(fn));
+  report_.hosts.reserve(shards_.size());
+  for (Shard& sh : shards_) {
+    sh.host->kernel().ftrace().stop();
+    const auto& ftrace = sh.host->kernel().ftrace();
+    sh.rollup.hap.distinct_functions = ftrace.distinct_functions();
+    sh.rollup.hap.total_invocations = ftrace.total_invocations();
+    const auto& registry = sh.host->kernel().registry();
+    for (const auto& [fn, count] : ftrace.counts()) {
+      (void)count;
+      sh.rollup.hap.extended_hap += epss_.score(registry.function(fn));
+    }
+    sh.rollup.ksm.enabled = s.enable_ksm;
+    sh.rollup.page_cache_hits = sh.host->page_cache().hits() - sh.cache_hits0;
+    sh.rollup.page_cache_misses =
+        sh.host->page_cache().misses() - sh.cache_misses0;
+    sh.rollup.nvme_bytes_read = sh.host->nvme().bytes_read() - sh.nvme_read0;
+
+    report_.hap.distinct_functions += sh.rollup.hap.distinct_functions;
+    report_.hap.total_invocations += sh.rollup.hap.total_invocations;
+    report_.hap.extended_hap += sh.rollup.hap.extended_hap;
+    report_.page_cache_hits += sh.rollup.page_cache_hits;
+    report_.page_cache_misses += sh.rollup.page_cache_misses;
+    report_.nvme_bytes_read += sh.rollup.nvme_bytes_read;
+    report_.hosts.push_back(sh.rollup);
   }
 
   report_.ksm.enabled = s.enable_ksm;
-
-  report_.page_cache_hits = host_->page_cache().hits() - cache_hits0;
-  report_.page_cache_misses = host_->page_cache().misses() - cache_miss0;
-  report_.nvme_bytes_read = host_->nvme().bytes_read() - nvme_read0;
   report_.makespan = last_event - first_arrival;
 
   report_.tenants.reserve(tenants_.size());

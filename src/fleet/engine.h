@@ -1,14 +1,21 @@
-// FleetEngine: executes a Scenario against one shared core::HostSystem.
+// FleetEngine: executes a Scenario against one or more core::HostSystem
+// shards.
 //
 // The engine is the mechanism side of the policy/mechanism split: it merges
 // N per-tenant sim::Clock timelines through a deterministic priority event
 // queue (event_queue.h) into one global virtual timeline, and charges every
-// tenant's activity to the *shared* host models — page cache and NVMe for
+// tenant's activity to its *shard's* host models — page cache and NVMe for
 // boot images and I/O phases, the NIC for network phases, KSM for
-// hypervisor guest RAM, and the host kernel's ftrace for the fleet-wide
-// attack-surface rollup. Contention is modeled analytically: CPU demand
-// above the host's thread count stretches every in-flight duration, and
-// concurrent network phases share the NIC's line rate.
+// hypervisor guest RAM, and the host kernel's ftrace for the per-host
+// attack-surface rollup. Contention is modeled analytically per shard: CPU
+// demand above a host's thread count stretches every in-flight duration on
+// that host, and concurrent network phases share that host's NIC line rate.
+//
+// Cluster runs (fleet::Cluster, cluster.h) hand the engine M host shards
+// plus a PlacementPolicy consulted once per arrival; the single global
+// event queue keeps cross-host runs byte-reproducible. Single-host runs
+// are the M=1 special case and produce byte-identical reports to the
+// pre-cluster engine (pinned by tests/fleet_golden_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 
 #include "core/host_system.h"
 #include "fleet/event_queue.h"
+#include "fleet/placement.h"
 #include "fleet/report.h"
 #include "fleet/scenario.h"
 #include "hap/epss.h"
@@ -35,11 +43,16 @@ bool is_hypervisor_backed(platforms::PlatformId id);
 
 class FleetEngine {
  public:
-  explicit FleetEngine(core::HostSystem& host) : host_(&host) {}
+  explicit FleetEngine(core::HostSystem& host);
+
+  /// Cluster mode: shard tenants across `hosts` with `policy` (non-owning;
+  /// must outlive the engine). A policy is required when hosts.size() > 1.
+  FleetEngine(const std::vector<core::HostSystem*>& hosts,
+              PlacementPolicy* policy);
 
   /// Run one scenario to completion and return its report. Deterministic
-  /// given (scenario, fresh HostSystem): the engine derives every random
-  /// stream from scenario.seed.
+  /// given (scenario, fresh hosts): the engine derives every random stream
+  /// from scenario.seed, and placement consults no RNG.
   FleetReport run(const Scenario& scenario);
 
  private:
@@ -48,17 +61,47 @@ class FleetEngine {
     platforms::PlatformId platform_id = platforms::PlatformId::kNative;
     platforms::Platform* platform = nullptr;
     /// Cached &report_.by_platform[platform->name()], resolved once per
-    /// tenant at boot completion (std::map nodes are pointer-stable) so
-    /// per-phase accounting skips the string-keyed lookup.
+    /// boot completion (std::map nodes are pointer-stable) so per-phase
+    /// accounting skips the string-keyed lookup.
     PlatformFleetStats* stats = nullptr;
     sim::Clock clock;
     sim::Rng rng{0};
     std::vector<platforms::WorkloadClass> phases;
     int next_phase = 0;
+    int host = 0;         // shard index assigned at (re-)arrival
+    int rounds_left = 0;  // churn re-admissions still owed
     sim::Nanos phase_start = 0;
     TenantOutcome outcome;
     std::uint64_t resident_bytes = 0;  // non-KSM-managed share
     bool ksm_registered = false;
+    bool counted_in_stats = false;  // already in its platform's tenant count
+  };
+
+  /// Per-host mechanism state: one HostSystem plus everything the engine
+  /// charges against it. Single-host runs have exactly one shard.
+  struct Shard {
+    core::HostSystem* host = nullptr;
+    mem::Ksm ksm;
+    std::unordered_map<platforms::PlatformId,
+                       std::unique_ptr<platforms::Platform>>
+        platforms;
+    int active = 0;      // admitted, not yet torn down
+    int net_active = 0;  // tenants currently in a network phase
+    double cpu_demand = 0.0;  // vCPUs demanded by in-flight activity
+    std::uint64_t non_ksm_resident = 0;
+    std::uint64_t ram_cap = 0;
+    /// Active tenants per platform, feeding HostView::same_platform_tenants.
+    std::unordered_map<platforms::PlatformId, int> tenants_by_platform;
+    HostRollup rollup;
+    std::uint64_t cache_hits0 = 0;   // host-model counters at run start
+    std::uint64_t cache_misses0 = 0;
+    std::uint64_t nvme_read0 = 0;
+
+    /// Resident bytes actually charged against this host's RAM right now.
+    std::uint64_t resident_bytes() const;
+
+    /// CPU contention multiplier at this host's current activity.
+    double cpu_factor() const;
   };
 
   // Lifecycle handlers.
@@ -71,39 +114,32 @@ class FleetEngine {
   /// cost, and schedule the completion event.
   void start_phase(Tenant& t, platforms::WorkloadClass w, const Scenario& s);
 
-  /// Admission control: would this tenant's resident set still fit?
-  bool admit(Tenant& t, const Scenario& s);
+  /// Admission control against the tenant's shard: would its resident set
+  /// still fit?
+  bool admit(Shard& sh, Tenant& t, const Scenario& s);
 
-  /// CPU contention multiplier at current fleet activity.
-  double cpu_factor() const;
+  /// Consult the placement policy for an arriving tenant (M > 1 only).
+  int place(const Tenant& t, const Scenario& s);
 
   /// Virtual duration of one workload phase, including platform profile
-  /// scaling and charges to the shared host models.
+  /// scaling and charges to the shard's host models.
   sim::Nanos phase_cost(Tenant& t, platforms::WorkloadClass w,
                         const Scenario& s);
 
-  /// Resident bytes actually charged against host RAM right now.
-  std::uint64_t resident_bytes() const;
+  void note_peaks(Shard& sh);
 
-  void note_peaks();
-
-  core::HostSystem* host_;
+  std::vector<Shard> shards_;
+  PlacementPolicy* policy_ = nullptr;  // non-owning; required when M > 1
   EventQueue queue_;
   sim::Clock global_clock_;
   /// Dense tenant table: ids are assigned 0..N-1, so the event loop indexes
   /// directly instead of hashing per event.
   std::vector<Tenant> tenants_;
-  std::unordered_map<platforms::PlatformId, std::unique_ptr<platforms::Platform>>
-      platforms_;
-  mem::Ksm ksm_;
+  std::vector<HostView> views_;  // recycled placement snapshot storage
   hap::EpssModel epss_;
   FleetReport report_;
 
-  int active_ = 0;       // admitted, not yet torn down
-  int net_active_ = 0;   // tenants currently in a network phase
-  double cpu_demand_ = 0.0;  // vCPUs demanded by in-flight activity
-  std::uint64_t non_ksm_resident_ = 0;
-  std::uint64_t host_ram_cap_ = 0;
+  int active_ = 0;  // fleet-wide admitted, not yet torn down
 };
 
 }  // namespace fleet

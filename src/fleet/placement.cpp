@@ -1,0 +1,96 @@
+#include "fleet/placement.h"
+
+#include <stdexcept>
+
+namespace fleet {
+
+namespace {
+
+std::uint64_t free_bytes(const HostView& h) {
+  return h.ram_cap_bytes > h.resident_bytes
+             ? h.ram_cap_bytes - h.resident_bytes
+             : 0;
+}
+
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  void reset() override { cursor_ = 0; }
+  int place(const PlacementRequest&,
+            const std::vector<HostView>& hosts) override {
+    return static_cast<int>(cursor_++ % hosts.size());
+  }
+
+ private:
+  std::uint64_t cursor_ = 0;
+};
+
+class LeastLoadedPlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "least-loaded"; }
+  int place(const PlacementRequest&,
+            const std::vector<HostView>& hosts) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < hosts.size(); ++i) {
+      if (free_bytes(hosts[i]) > free_bytes(hosts[best])) {
+        best = i;
+      }
+    }
+    return hosts[best].index;
+  }
+};
+
+class KsmAffinityPlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "ksm-affinity"; }
+  int place(const PlacementRequest&,
+            const std::vector<HostView>& hosts) override {
+    // Lexicographic (co-tenants, free RAM): with no co-tenant anywhere this
+    // degrades to least-loaded, which also spreads the first tenant of each
+    // platform onto the emptiest host before piles start forming.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < hosts.size(); ++i) {
+      const HostView& h = hosts[i];
+      const HostView& b = hosts[best];
+      if (h.same_platform_tenants > b.same_platform_tenants ||
+          (h.same_platform_tenants == b.same_platform_tenants &&
+           free_bytes(h) > free_bytes(b))) {
+        best = i;
+      }
+    }
+    return hosts[best].index;
+  }
+};
+
+}  // namespace
+
+std::string placement_kind_name(PlacementKind k) {
+  switch (k) {
+    case PlacementKind::kRoundRobin:
+      return "round-robin";
+    case PlacementKind::kLeastLoaded:
+      return "least-loaded";
+    case PlacementKind::kKsmAffinity:
+      return "ksm-affinity";
+  }
+  return "unknown";
+}
+
+std::vector<PlacementKind> all_placement_kinds() {
+  return {PlacementKind::kRoundRobin, PlacementKind::kLeastLoaded,
+          PlacementKind::kKsmAffinity};
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kRoundRobin:
+      return std::make_unique<RoundRobinPlacement>();
+    case PlacementKind::kLeastLoaded:
+      return std::make_unique<LeastLoadedPlacement>();
+    case PlacementKind::kKsmAffinity:
+      return std::make_unique<KsmAffinityPlacement>();
+  }
+  throw std::invalid_argument("make_placement: unknown PlacementKind");
+}
+
+}  // namespace fleet

@@ -1,0 +1,76 @@
+// PlacementPolicy: where does the next tenant land?
+//
+// The cluster splits scheduling into policy (this header) and mechanism
+// (FleetEngine charging one shard's host models): a policy sees a snapshot
+// of every host's load and picks an index, nothing more. Placement runs
+// once per arrival, consults no RNG, and admission control on the chosen
+// host remains authoritative — a policy may overpack a host and take the
+// OOM rejection, which the per-host report rollups then make visible.
+//
+// Built-in policies:
+//   round-robin   — cycle hosts in index order, ignoring load
+//   least-loaded  — most free RAM first (ties: lowest index)
+//   ksm-affinity  — co-locate tenants of the same platform image so their
+//                   KSM digest runs (and boot image cache) merge; falls
+//                   back to least-loaded while no co-tenant exists
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platforms/platform.h"
+
+namespace fleet {
+
+enum class PlacementKind {
+  kRoundRobin,
+  kLeastLoaded,
+  kKsmAffinity,
+};
+
+std::string placement_kind_name(PlacementKind k);
+
+/// All built-in policies, in a stable sweep order for benches and tests.
+std::vector<PlacementKind> all_placement_kinds();
+
+/// One host's load as the policy sees it at an arrival.
+struct HostView {
+  int index = 0;
+  std::uint64_t ram_cap_bytes = 0;
+  /// Bytes currently charged against this host (non-KSM resident plus KSM
+  /// backing pages).
+  std::uint64_t resident_bytes = 0;
+  int active_tenants = 0;
+  /// Active tenants on this host running the arriving tenant's platform.
+  int same_platform_tenants = 0;
+};
+
+/// The arriving tenant, as much as a policy may know about it.
+struct PlacementRequest {
+  std::uint64_t tenant_id = 0;
+  platforms::PlatformId platform_id = platforms::PlatformId::kNative;
+  bool hypervisor_backed = false;
+  std::uint64_t guest_ram_bytes = 0;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once at the start of every run; clears any cursor state so
+  /// identical runs make identical decisions.
+  virtual void reset() {}
+
+  /// Pick the host index for this arrival. `hosts` has one view per host,
+  /// in index order, and is never empty. Must return a valid index.
+  virtual int place(const PlacementRequest& req,
+                    const std::vector<HostView>& hosts) = 0;
+};
+
+std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind);
+
+}  // namespace fleet

@@ -19,6 +19,10 @@ std::string fmt(const char* format, double v) {
 std::string FleetReport::to_text() const {
   std::string out;
   out += "scenario: " + scenario + " (seed " + std::to_string(seed) + ")\n";
+  if (is_cluster()) {
+    out += "placement: " + placement + " across " +
+           std::to_string(hosts.size()) + " hosts\n";
+  }
   out += "tenants: " + std::to_string(admitted) + " admitted, " +
          std::to_string(rejected) + " rejected, " + std::to_string(completed) +
          " completed; peak active " + std::to_string(peak_active) + "\n";
@@ -42,7 +46,17 @@ std::string FleetReport::to_text() const {
          " MiB\n";
   out += "fleet HAP: " + std::to_string(hap.distinct_functions) +
          " distinct host fns, " + std::to_string(hap.total_invocations) +
-         " invocations, extended HAP " + fmt("%.2f", hap.extended_hap) + "\n\n";
+         " invocations, extended HAP " + fmt("%.2f", hap.extended_hap) + "\n";
+  if (is_cluster() && !cluster_boot_ms.empty()) {
+    out += "cluster boot CDF: p50 " + fmt("%.2f", cluster_boot_ms.percentile(50)) +
+           " ms, p90 " + fmt("%.2f", cluster_boot_ms.percentile(90)) +
+           " ms, p99 " + fmt("%.2f", cluster_boot_ms.percentile(99)) +
+           " ms over " + std::to_string(cluster_boot_ms.size()) + " boots\n";
+  }
+  if (churn_rearrivals > 0) {
+    out += "churn: " + std::to_string(churn_rearrivals) + " re-arrivals\n";
+  }
+  out += "\n";
 
   stats::Table table({"platform", "tenants", "boot p50 (ms)", "boot p90 (ms)",
                       "boot p99 (ms)", "phase p50 (ms)"});
@@ -60,7 +74,32 @@ std::string FleetReport::to_text() const {
                                 : stats::Table::num(stats.phase_ms.percentile(50))});
   }
   out += table.to_text();
+
+  if (is_cluster()) {
+    out += "\n";
+    stats::Table host_table({"host", "admitted", "rejected", "peak active",
+                             "peak resident (GiB)", "ksm shared pages",
+                             "hap fns", "extended HAP"});
+    for (const HostRollup& h : hosts) {
+      host_table.add_row(
+          {std::to_string(h.host), std::to_string(h.admitted),
+           std::to_string(h.rejected), std::to_string(h.peak_active),
+           stats::Table::num(static_cast<double>(h.peak_resident_bytes) /
+                             static_cast<double>(1ull << 30), 1),
+           std::to_string(h.ksm.shared_pages),
+           std::to_string(h.hap.distinct_functions),
+           stats::Table::num(h.hap.extended_hap)});
+    }
+    out += host_table.to_text();
+  }
   return out;
+}
+
+core::CdfSeries FleetReport::cluster_boot_cdf() const {
+  core::CdfSeries s;
+  s.platform = "cluster";
+  s.samples_ms = cluster_boot_ms;
+  return s;
 }
 
 std::vector<core::CdfSeries> FleetReport::boot_cdfs() const {

@@ -18,7 +18,10 @@
 
 namespace fleet {
 
-/// Lifecycle record of one tenant.
+/// Lifecycle record of one tenant. Under churn, arrival/boot_latency/
+/// completion/admitted/completed describe the tenant's LAST round (each
+/// re-arrival resets them), while phases_run and rounds_completed
+/// accumulate across rounds.
 struct TenantOutcome {
   std::uint64_t id = 0;
   std::string platform;
@@ -26,11 +29,14 @@ struct TenantOutcome {
   sim::Nanos boot_latency = 0;  // admission to serving (end-to-end cold start)
   sim::Nanos completion = 0;    // teardown finished
   int phases_run = 0;
+  int rounds_completed = 0;  // teardowns reached (1 + churn rounds completed)
   bool admitted = false;
   bool completed = false;
 };
 
-/// Per-platform aggregate over all tenants that ran on it.
+/// Per-platform aggregate over all tenants that ran on it. tenants counts
+/// distinct tenants; under churn, boot_ms/phase_ms collect one sample per
+/// boot/phase including every re-admission round.
 struct PlatformFleetStats {
   std::string platform;
   int tenants = 0;
@@ -43,26 +49,57 @@ struct FleetKsmStats {
   bool enabled = false;
   std::uint64_t advised_pages = 0;
   std::uint64_t backing_pages = 0;
+  /// Advised pages sharing backing with at least one other VM (absolute
+  /// count; shared_fraction times advised_pages).
+  std::uint64_t shared_pages = 0;
   double density_gain = 1.0;
   double shared_fraction = 0.0;
 };
 
 /// Fleet-wide host attack surface: one ftrace window spanning the whole
-/// scenario, scored like the per-platform HAP study (Section 4).
+/// scenario, scored like the per-platform HAP study (Section 4). For
+/// cluster runs the fleet totals sum every host kernel's window.
 struct FleetHapRollup {
   std::size_t distinct_functions = 0;
   std::uint64_t total_invocations = 0;
   double extended_hap = 0.0;
 };
 
+/// Everything one host shard observed during a cluster run: admission
+/// outcomes, peaks, its own KSM stable tree and host-kernel HAP window,
+/// and its host-model totals. hosts.size() == 1 for single-host runs.
+struct HostRollup {
+  int host = 0;
+  int admitted = 0;
+  /// OOM rejections this host's RAM actually refused. Rejections
+  /// short-circuited by a tripped stop_at_first_oom latch never consult a
+  /// host and count only in the fleet-level total, so under that latch
+  /// FleetReport::rejected can exceed the sum over hosts.
+  int rejected = 0;
+  int peak_active = 0;
+  std::uint64_t peak_resident_bytes = 0;
+  FleetKsmStats ksm;
+  FleetHapRollup hap;
+  std::uint64_t page_cache_hits = 0;
+  std::uint64_t page_cache_misses = 0;
+  std::uint64_t nvme_bytes_read = 0;
+};
+
 class FleetReport {
  public:
   std::string scenario;
   std::uint64_t seed = 0;
+  /// Placement policy name for cluster runs; empty on single-host runs,
+  /// which keeps their to_text() byte-identical to the pinned goldens.
+  std::string placement;
 
   std::vector<TenantOutcome> tenants;
   /// Keyed by platform name; std::map keeps rendering order deterministic.
   std::map<std::string, PlatformFleetStats> by_platform;
+  /// One rollup per host shard, in host index order.
+  std::vector<HostRollup> hosts;
+
+  bool is_cluster() const { return hosts.size() > 1; }
 
   sim::Nanos makespan = 0;   // first arrival to last teardown
   int admitted = 0;
@@ -87,6 +124,17 @@ class FleetReport {
   /// scaling bench's events/sec metric; deliberately not rendered by
   /// to_text(), whose output is a compatibility surface.
   std::uint64_t events_processed = 0;
+
+  /// Re-arrivals scheduled by tenant churn loops (scenario.churn_rounds).
+  int churn_rearrivals = 0;
+
+  /// Every boot latency across all platforms and hosts — the cluster-wide
+  /// boot CDF. Filled on single-host runs too, but only rendered (and only
+  /// exported via cluster_boot_cdf()) for cluster runs.
+  stats::SampleSet cluster_boot_ms;
+
+  /// The cluster-wide boot CDF in the figure-export shape.
+  core::CdfSeries cluster_boot_cdf() const;
 
   /// Per-platform latency table plus fleet summary. Byte-identical for
   /// identical (scenario, seed).

@@ -83,4 +83,29 @@ Scenario Scenario::steady_state_mix(int tenants) {
   return s;
 }
 
+Scenario Scenario::cluster_storm(int tenants, int hosts,
+                                 PlacementKind placement) {
+  Scenario s = coldstart_storm(tenants);
+  s.name = "cluster-storm";
+  // More hypervisor-backed weight than the single-host storm: placement
+  // affinity only matters where guest RAM can merge.
+  s.platform_mix = {
+      {platforms::PlatformId::kDocker, 0.25},
+      {platforms::PlatformId::kFirecracker, 0.35},
+      {platforms::PlatformId::kQemuKvm, 0.20},
+      {platforms::PlatformId::kOsvFirecracker, 0.20},
+  };
+  s.cluster.host_count = hosts;
+  s.placement = placement;
+  return s;
+}
+
+Scenario Scenario::churn_mix(int tenants, int rounds) {
+  Scenario s = steady_state_mix(tenants);
+  s.name = "churn-mix";
+  s.churn_rounds = rounds;
+  s.churn_gap = sim::millis(100);
+  return s;
+}
+
 }  // namespace fleet

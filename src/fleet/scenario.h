@@ -14,10 +14,22 @@
 #include <string>
 #include <vector>
 
+#include "fleet/placement.h"
 #include "platforms/platform.h"
 #include "sim/time.h"
 
 namespace fleet {
+
+/// Cluster topology: M identical hosts, each its own HostSystem shard with
+/// private page cache, NVMe, NIC, kernel ftrace, and KSM stable tree.
+/// Zero-valued knobs fall back to the core::HostSystemSpec defaults
+/// (128 threads, 256 GiB RAM, 40 GbE).
+struct ClusterTopology {
+  int host_count = 1;
+  int cpu_threads = 0;
+  std::uint64_t ram_bytes = 0;
+  double nic_gbps = 0.0;
+};
 
 /// How tenant arrival times are drawn over the scenario's warm-up window.
 enum class ArrivalPattern {
@@ -74,8 +86,22 @@ struct Scenario {
   /// Density-sweep mode: stop admitting at the first tenant whose projected
   /// resident set exceeds host RAM, and record it.
   bool stop_at_first_oom = false;
-  /// Host RAM cap for the density check; 0 means use the HostSystem spec.
+  /// Host RAM cap for the density check, applied to every host; 0 means
+  /// use each HostSystem's spec.
   std::uint64_t host_ram_override_bytes = 0;
+
+  // --- Cluster ------------------------------------------------------------
+  /// Host count and per-host shape; host_count 1 is the single-host engine.
+  ClusterTopology cluster;
+  /// Which host an arriving tenant lands on (cluster runs only).
+  PlacementKind placement = PlacementKind::kRoundRobin;
+
+  // --- Churn (long-horizon runs) ------------------------------------------
+  /// Times each tenant re-enters the fleet after teardown: its resources
+  /// are released, it idles churn_gap, then re-arrives and faces placement
+  /// and admission again (possibly on a different host). 0 = single pass.
+  int churn_rounds = 0;
+  sim::Nanos churn_gap = sim::millis(100);
 
   // --- Reproducibility ----------------------------------------------------
   std::uint64_t seed = 0xF1EE'75EE'D000'0001ull;
@@ -92,6 +118,16 @@ struct Scenario {
   /// Long-running mixed fleet: containers, microVMs and unikernels side by
   /// side, Poisson arrivals, all workload classes active.
   static Scenario steady_state_mix(int tenants = 48);
+
+  /// Cold-start storm sharded across a cluster: a platform mix heavy on
+  /// hypervisor-backed tenants so placement visibly moves KSM sharing.
+  static Scenario cluster_storm(
+      int tenants, int hosts,
+      PlacementKind placement = PlacementKind::kRoundRobin);
+
+  /// Long-horizon churn: the steady-state mix where every tenant tears
+  /// down and re-enters the fleet `rounds` more times.
+  static Scenario churn_mix(int tenants = 48, int rounds = 2);
 };
 
 }  // namespace fleet

@@ -69,6 +69,10 @@ class Ksm {
   /// VM — pages observable through a KSM timing side channel.
   double shared_fraction() const;
 
+  /// Absolute count behind shared_fraction(): advised pages whose backing
+  /// is shared with at least one other VM after the last scan.
+  std::uint64_t shared_pages() const { return scanned_ ? shared_ : 0; }
+
   /// Interval count of the stable tree — an implementation health metric:
   /// bounded by the number of distinct run boundaries alive, not by churn.
   std::size_t stable_tree_intervals() const {

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""CI perf-trajectory gate for bench/fleet_scale.
+
+Compares a freshly generated BENCH_fleet_scale.json against the committed
+copy and fails when any run at the gated tenant count regressed by more
+than --max-ratio in wall-clock. The threshold is deliberately tolerant
+(shared CI runners are noisy); it exists to catch "something went quadratic
+again", not single-digit-percent drift. Event counts are deterministic per
+(scenario, seed), so a changed event count is reported too — that is a
+behavior change, not noise, but it only warns here because the golden tests
+already pin behavior.
+
+When both files carry a "cluster" block for the same (hosts, tenants)
+configuration, each placement policy's wall-clock is gated with the same
+ratio, so regressions isolated to the cluster path (placement, per-shard
+accounting) are caught too, not just the single-host engine.
+
+Usage:
+  check_perf_trajectory.py FRESH.json COMMITTED.json \
+      [--tenants 1000] [--max-ratio 3.0]
+
+Exit codes: 0 ok, 1 regression or missing runs, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"check_perf_trajectory: cannot read {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def runs_at(doc, tenants):
+    return {
+        r["scenario"]: r
+        for r in doc.get("runs", [])
+        if r.get("tenants") == tenants
+    }
+
+
+def check_cluster(fresh_doc, committed_doc, max_ratio):
+    """Gate the per-policy cluster sweep; returns True on failure."""
+    base = committed_doc.get("cluster")
+    fresh = fresh_doc.get("cluster")
+    if base is None:
+        return False  # nothing committed to gate against
+    if fresh is None:
+        print("  cluster sweep     MISSING from fresh results")
+        return True
+    config = (base.get("hosts"), base.get("tenants"))
+    if (fresh.get("hosts"), fresh.get("tenants")) != config:
+        # A different-shaped local run (e.g. --tenants 500 --hosts 2) is not
+        # comparable; warn without failing. CI pins the matching
+        # configuration, so there this branch never triggers.
+        print(f"  cluster sweep     config mismatch: committed "
+              f"hosts={base.get('hosts')} tenants={base.get('tenants')}, "
+              f"fresh hosts={fresh.get('hosts')} "
+              f"tenants={fresh.get('tenants')} -- skipped, not gated")
+        return False
+    failed = False
+    print(f"cluster sweep at {config[1]} tenants across {config[0]} hosts:")
+    fresh_runs = {r["policy"]: r for r in fresh.get("runs", [])}
+    for run in base.get("runs", []):
+        policy = run["policy"]
+        fresh_run = fresh_runs.get(policy)
+        if fresh_run is None:
+            print(f"  {policy:<18} MISSING from fresh results")
+            failed = True
+            continue
+        ratio = (fresh_run["wall_ms"] / run["wall_ms"]
+                 if run["wall_ms"] > 0 else 0.0)
+        verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+        print(f"  {policy:<18} committed {run['wall_ms']:8.1f} ms   "
+              f"fresh {fresh_run['wall_ms']:8.1f} ms   ratio {ratio:4.2f}x   "
+              f"{verdict}")
+        if ratio > max_ratio:
+            failed = True
+        if fresh_run.get("events") != run.get("events"):
+            print(f"  {policy:<18} note: event count changed "
+                  f"{run.get('events')} -> {fresh_run.get('events')} "
+                  f"(cluster behavior change — single-host goldens do not "
+                  f"cover this)")
+    return failed
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("fresh", help="JSON from the CI run")
+    parser.add_argument("committed", help="checked-in trajectory JSON")
+    parser.add_argument("--tenants", type=int, default=1000,
+                        help="tenant count to gate on (default 1000)")
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="fail when fresh/committed wall_ms exceeds this")
+    args = parser.parse_args()
+
+    fresh_doc = load(args.fresh)
+    committed_doc = load(args.committed)
+    fresh = runs_at(fresh_doc, args.tenants)
+    committed = runs_at(committed_doc, args.tenants)
+    if not committed:
+        print(f"check_perf_trajectory: committed file has no runs at "
+              f"{args.tenants} tenants", file=sys.stderr)
+        return 2
+
+    failed = False
+    print(f"perf trajectory at {args.tenants} tenants "
+          f"(gate: {args.max_ratio:.1f}x):")
+    for scenario, base in sorted(committed.items()):
+        run = fresh.get(scenario)
+        if run is None:
+            print(f"  {scenario:<18} MISSING from fresh results")
+            failed = True
+            continue
+        ratio = run["wall_ms"] / base["wall_ms"] if base["wall_ms"] > 0 else 0.0
+        verdict = "ok" if ratio <= args.max_ratio else "REGRESSION"
+        print(f"  {scenario:<18} committed {base['wall_ms']:8.1f} ms   "
+              f"fresh {run['wall_ms']:8.1f} ms   ratio {ratio:4.2f}x   "
+              f"{verdict}")
+        if ratio > args.max_ratio:
+            failed = True
+        if run.get("events") != base.get("events"):
+            print(f"  {scenario:<18} note: event count changed "
+                  f"{base.get('events')} -> {run.get('events')} "
+                  f"(behavior change, pinned elsewhere)")
+    if check_cluster(fresh_doc, committed_doc, args.max_ratio):
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
