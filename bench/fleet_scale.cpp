@@ -71,10 +71,32 @@ struct ClusterScaleResult {
   std::uint64_t events = 0;
   int admitted = 0;
   int completed = 0;
+  int spills = 0;
   std::uint64_t ksm_shared_pages = 0;
   std::uint64_t ksm_backing_pages = 0;
   double boot_p50_ms = 0.0;
   double boot_p99_ms = 0.0;
+  double makespan_ms = 0.0;
+};
+
+/// The autoscaled storm vs its fixed-topology control at the same size.
+struct AutoscaleResult {
+  int initial_hosts = 0;
+  int max_hosts = 0;
+  int final_hosts = 0;
+  int tenants = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  int admitted = 0;  // admissions, incl. drain-migration re-admissions
+  int tenants_admitted = 0;  // distinct tenants admitted at run end
+  int completed = 0;
+  int spills = 0;
+  int peak_hosts = 0;  // most live hosts at any point
+  int scale_outs = 0;
+  int scale_ins = 0;
+  int drain_migrations = 0;
+  int fixed_admitted = 0;          // same storm, autoscale off
+  int fixed_tenants_admitted = 0;  // distinct, autoscale off
   double makespan_ms = 0.0;
 };
 
@@ -118,6 +140,7 @@ bool run_cluster_sweep(int tenants, int hosts,
     r.events = a.events_processed;
     r.admitted = a.admitted;
     r.completed = a.completed;
+    r.spills = a.spills;
     r.ksm_shared_pages = a.ksm.shared_pages;
     r.ksm_backing_pages = a.ksm.backing_pages;
     r.boot_p50_ms = a.cluster_boot_ms.empty() ? 0.0
@@ -127,6 +150,114 @@ bool run_cluster_sweep(int tenants, int hosts,
     r.makespan_ms = sim::to_millis(a.makespan);
     results->push_back(r);
   }
+  return true;
+}
+
+/// The retry-on-reject differential: a RAM-tight two-platform storm under
+/// ksm-affinity, where the policy's first choice is always the platform's
+/// pile host. Single-shot placement (PR 3 semantics, emulated by ranking
+/// only the first choice) keeps rejecting against the full pile while
+/// other hosts sit idle; the retry walk spills the overflow there.
+struct RetryDifferentialResult {
+  int hosts = 0;
+  int tenants = 0;
+  int retry_admitted = 0;
+  int single_shot_admitted = 0;
+  int spills = 0;
+  double wall_ms = 0.0;
+};
+
+fleet::Scenario retry_differential_scenario(int tenants, int hosts) {
+  auto s = fleet::Scenario::cluster_storm(tenants, hosts,
+                                          fleet::PlacementKind::kKsmAffinity);
+  // Two platforms on M hosts: affinity builds two piles and leaves the
+  // rest of the fleet as pure spill capacity single-shot placement never
+  // reaches.
+  s.platform_mix = {
+      {platforms::PlatformId::kFirecracker, 0.5},
+      {platforms::PlatformId::kQemuKvm, 0.5},
+  };
+  return s;
+}
+
+bool run_retry_differential(int tenants, int hosts,
+                            RetryDifferentialResult* out) {
+  const auto scenario = retry_differential_scenario(tenants, hosts);
+  double wall_a = 0.0;
+  double wall_b = 0.0;
+  const auto a = run_cluster_once(scenario, &wall_a);
+  const auto b = run_cluster_once(scenario, &wall_b);
+  if (a.to_text() != b.to_text() || a.events_processed != b.events_processed) {
+    std::fprintf(stderr,
+                 "fleet_scale: DETERMINISM VIOLATION — retry differential "
+                 "produced different reports across two fresh runs\n");
+    return false;
+  }
+
+  fleet::Cluster cluster(scenario.cluster);
+  std::vector<core::HostSystem*> cluster_hosts;
+  cluster_hosts.reserve(static_cast<std::size_t>(cluster.host_count()));
+  for (int i = 0; i < cluster.host_count(); ++i) {
+    cluster_hosts.push_back(&cluster.host(i));
+  }
+  fleet::SingleShotPolicy single_shot(
+      fleet::make_placement(fleet::PlacementKind::kKsmAffinity));
+  fleet::FleetEngine engine(cluster_hosts, &single_shot);
+  const auto ss = engine.run(scenario);
+
+  out->hosts = hosts;
+  out->tenants = tenants;
+  out->retry_admitted = a.admitted;
+  out->single_shot_admitted = ss.admitted;
+  out->spills = a.spills;
+  out->wall_ms = std::min(wall_a, wall_b);
+  return true;
+}
+
+/// Autoscaled storm at the largest size: start at `hosts`, allow growth to
+/// 2x, run twice (byte-identical or bust), plus the fixed-topology control.
+/// Returns false on a determinism violation.
+bool run_autoscale(int tenants, int hosts, AutoscaleResult* out) {
+  const auto scenario =
+      fleet::Scenario::autoscale_storm(tenants, hosts, 2 * hosts);
+  double wall_a = 0.0;
+  double wall_b = 0.0;
+  const auto a = run_cluster_once(scenario, &wall_a);
+  const auto b = run_cluster_once(scenario, &wall_b);
+  if (a.to_text() != b.to_text() || a.events_processed != b.events_processed) {
+    std::fprintf(stderr,
+                 "fleet_scale: DETERMINISM VIOLATION — autoscaled storm "
+                 "produced different reports across two fresh runs\n");
+    return false;
+  }
+  auto fixed = scenario;
+  fixed.autoscale.enabled = false;
+  double wall_fixed = 0.0;
+  const auto f = run_cluster_once(fixed, &wall_fixed);
+
+  out->initial_hosts = hosts;
+  out->max_hosts = 2 * hosts;
+  out->final_hosts = a.final_host_count;
+  out->tenants = tenants;
+  out->wall_ms = std::min(wall_a, wall_b);
+  out->events = a.events_processed;
+  out->admitted = a.admitted;
+  out->tenants_admitted = a.tenants_admitted();
+  out->completed = a.completed;
+  out->spills = a.spills;
+  out->peak_hosts = hosts;
+  for (const auto& action : a.autoscale_timeline) {
+    out->peak_hosts = std::max(out->peak_hosts, action.live_hosts);
+    if (action.action == "scale-out") {
+      ++out->scale_outs;
+    } else if (action.action == "scale-in") {
+      ++out->scale_ins;
+    }
+  }
+  out->drain_migrations = a.drain_migrations;
+  out->fixed_admitted = f.admitted;
+  out->fixed_tenants_admitted = f.tenants_admitted();
+  out->makespan_ms = sim::to_millis(a.makespan);
   return true;
 }
 
@@ -174,7 +305,9 @@ const BaselineEntry* baseline_for(const ScaleResult& r) {
 }
 
 void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
-                const std::vector<ClusterScaleResult>& cluster_runs) {
+                const std::vector<ClusterScaleResult>& cluster_runs,
+                const RetryDifferentialResult* retry,
+                const AutoscaleResult* autoscale) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
@@ -182,7 +315,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"unit\": {\"wall_ms\": \"milliseconds\", "
                   "\"events_per_sec\": \"simulator events per second\"},\n");
   std::fprintf(f, "  \"runs\": [\n");
@@ -229,7 +362,9 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  r.scenario.c_str(), r.tenants, b->wall_ms / r.wall_ms);
     first = false;
   }
-  std::fprintf(f, "}%s\n", cluster_runs.empty() ? "" : ",");
+  const bool more =
+      !cluster_runs.empty() || autoscale != nullptr || retry != nullptr;
+  std::fprintf(f, "}%s\n", more ? "," : "");
   if (!cluster_runs.empty()) {
     std::fprintf(f, "  \"cluster\": {\n");
     std::fprintf(f, "    \"scenario\": \"cluster-storm\",\n");
@@ -243,18 +378,64 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
       std::fprintf(f,
                    "      {\"policy\": \"%s\", \"wall_ms\": %.1f, "
                    "\"events\": %llu, \"admitted\": %d, \"completed\": %d, "
+                   "\"spills\": %d, "
                    "\"ksm_shared_pages\": %llu, \"ksm_backing_pages\": %llu, "
                    "\"boot_p50_ms\": %.2f, "
                    "\"boot_p99_ms\": %.2f, \"makespan_ms\": %.2f}%s\n",
                    r.policy.c_str(), r.wall_ms,
                    static_cast<unsigned long long>(r.events), r.admitted,
-                   r.completed,
+                   r.completed, r.spills,
                    static_cast<unsigned long long>(r.ksm_shared_pages),
                    static_cast<unsigned long long>(r.ksm_backing_pages),
                    r.boot_p50_ms, r.boot_p99_ms, r.makespan_ms,
                    i + 1 < cluster_runs.size() ? "," : "");
     }
-    std::fprintf(f, "    ]\n  }\n");
+    std::fprintf(f, "    ]\n  }%s\n",
+                 retry != nullptr || autoscale != nullptr ? "," : "");
+  }
+  if (retry != nullptr) {
+    std::fprintf(f, "  \"retry_vs_single_shot\": {\n");
+    std::fprintf(f, "    \"scenario\": \"cluster-storm, firecracker/qemu-kvm "
+                    "mix, ksm-affinity\",\n");
+    std::fprintf(f, "    \"hosts\": %d,\n", retry->hosts);
+    std::fprintf(f, "    \"tenants\": %d,\n", retry->tenants);
+    std::fprintf(f, "    \"note\": \"single-shot = PR 3 semantics (walk only "
+                    "the first-ranked host); the pile hosts fill while the "
+                    "rest of the fleet idles\",\n");
+    std::fprintf(f,
+                 "    \"retry_admitted\": %d,\n"
+                 "    \"single_shot_admitted\": %d,\n"
+                 "    \"spills\": %d,\n"
+                 "    \"wall_ms\": %.1f\n",
+                 retry->retry_admitted, retry->single_shot_admitted,
+                 retry->spills, retry->wall_ms);
+    std::fprintf(f, "  }%s\n", autoscale != nullptr ? "," : "");
+  }
+  if (autoscale != nullptr) {
+    const AutoscaleResult& r = *autoscale;
+    std::fprintf(f, "  \"autoscale\": {\n");
+    std::fprintf(f, "    \"scenario\": \"autoscale-storm\",\n");
+    std::fprintf(f, "    \"hosts\": %d,\n", r.initial_hosts);
+    std::fprintf(f, "    \"max_hosts\": %d,\n", r.max_hosts);
+    std::fprintf(f, "    \"tenants\": %d,\n", r.tenants);
+    std::fprintf(f, "    \"determinism\": \"autoscaled storm run twice "
+                    "against fresh clusters, reports byte-identical\",\n");
+    std::fprintf(f,
+                 "    \"run\": {\"wall_ms\": %.1f, \"events\": %llu, "
+                 "\"admitted\": %d, \"tenants_admitted\": %d, "
+                 "\"completed\": %d, \"spills\": %d, "
+                 "\"final_hosts\": %d, \"peak_hosts\": %d, "
+                 "\"scale_outs\": %d, "
+                 "\"scale_ins\": %d, \"drain_migrations\": %d, "
+                 "\"makespan_ms\": %.2f},\n",
+                 r.wall_ms, static_cast<unsigned long long>(r.events),
+                 r.admitted, r.tenants_admitted, r.completed, r.spills,
+                 r.final_hosts, r.peak_hosts,
+                 r.scale_outs, r.scale_ins, r.drain_migrations, r.makespan_ms);
+    std::fprintf(f, "    \"fixed_topology\": {\"admitted\": %d, "
+                    "\"tenants_admitted\": %d}\n",
+                 r.fixed_admitted, r.fixed_tenants_admitted);
+    std::fprintf(f, "  }\n");
   }
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -267,12 +448,15 @@ int main(int argc, char** argv) {
   std::vector<int> sizes = {1000, 4000, 10000};
   std::string out = "BENCH_fleet_scale.json";
   bool json = true;
+  bool autoscale = false;
   int hosts = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
       sizes = parse_sizes(argv[++i]);
     } else if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
       hosts = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--autoscale") == 0) {
+      autoscale = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
@@ -280,9 +464,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: fleet_scale [--tenants N[,N...]] [--hosts M] "
-                   "[--out PATH] [--no-json]\n");
+                   "[--autoscale] [--out PATH] [--no-json]\n");
       return 2;
     }
+  }
+  if (autoscale && hosts < 2) {
+    std::fprintf(stderr, "fleet_scale: --autoscale needs --hosts >= 2\n");
+    return 2;
   }
   if (sizes.empty()) {
     std::fprintf(stderr, "fleet_scale: --tenants needs at least one size\n");
@@ -335,12 +523,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     stats::Table cluster_table({"policy", "wall (ms)", "admitted", "completed",
-                                "ksm shared", "ksm backing", "boot p50 (ms)",
-                                "boot p99 (ms)", "makespan (ms)"});
+                                "spills", "ksm shared", "ksm backing",
+                                "boot p50 (ms)", "boot p99 (ms)",
+                                "makespan (ms)"});
     for (const ClusterScaleResult& r : cluster_runs) {
       cluster_table.add_row(
           {r.policy, stats::Table::num(r.wall_ms), std::to_string(r.admitted),
-           std::to_string(r.completed), std::to_string(r.ksm_shared_pages),
+           std::to_string(r.completed), std::to_string(r.spills),
+           std::to_string(r.ksm_shared_pages),
            std::to_string(r.ksm_backing_pages),
            stats::Table::num(r.boot_p50_ms), stats::Table::num(r.boot_p99_ms),
            stats::Table::num(r.makespan_ms)});
@@ -351,8 +541,44 @@ int main(int argc, char** argv) {
                 cluster_runs.size());
   }
 
+  RetryDifferentialResult retry_result;
+  if (hosts > 1) {
+    const int rd_tenants = *std::max_element(sizes.begin(), sizes.end());
+    std::printf("\nretry vs single-shot: %d tenants, %d hosts, two-platform "
+                "ksm-affinity piles\n\n",
+                rd_tenants, hosts);
+    if (!run_retry_differential(rd_tenants, hosts, &retry_result)) {
+      return 1;
+    }
+    std::printf("retry-on-reject admitted %d (%d spills); single-shot "
+                "placement admitted %d\n",
+                retry_result.retry_admitted, retry_result.spills,
+                retry_result.single_shot_admitted);
+  }
+
+  AutoscaleResult autoscale_result;
+  if (autoscale) {
+    const int as_tenants = *std::max_element(sizes.begin(), sizes.end());
+    std::printf("\nautoscale-storm: %d tenants, %d -> up to %d hosts, run "
+                "twice + fixed-topology control\n\n",
+                as_tenants, hosts, 2 * hosts);
+    if (!run_autoscale(as_tenants, hosts, &autoscale_result)) {
+      return 1;
+    }
+    std::printf("tenants admitted %d (fixed topology: %d), hosts %d peak / "
+                "%d final, %d scale-outs, %d scale-ins, %d drain migrations, "
+                "%d spills, wall %.1f ms\n",
+                autoscale_result.tenants_admitted,
+                autoscale_result.fixed_tenants_admitted,
+                autoscale_result.peak_hosts, autoscale_result.final_hosts,
+                autoscale_result.scale_outs,
+                autoscale_result.scale_ins, autoscale_result.drain_migrations,
+                autoscale_result.spills, autoscale_result.wall_ms);
+  }
+
   if (json) {
-    write_json(out, runs, cluster_runs);
+    write_json(out, runs, cluster_runs, hosts > 1 ? &retry_result : nullptr,
+               autoscale ? &autoscale_result : nullptr);
   }
   return 0;
 }

@@ -79,8 +79,9 @@ int main() {
   print_report(mix_report);
 
   // --- 4. Cluster placement-policy sweep -----------------------------------
-  // The same storm sharded across 4 hosts: policy decides where each tenant
-  // lands, the per-host engine mechanism decides what it costs.
+  // The same storm sharded across 4 hosts: policy ranks the hosts, the
+  // admission walk spills refusals to the next candidate, the per-host
+  // engine mechanism decides what everything costs.
   bool exported_cluster_cdf = false;
   for (const auto kind : fleet::all_placement_kinds()) {
     const auto cluster_scenario = fleet::Scenario::cluster_storm(128, 4, kind);
@@ -97,6 +98,30 @@ int main() {
       exported_cluster_cdf = true;
     }
   }
+
+  // --- 5. Autoscaled storm vs fixed topology --------------------------------
+  // A RAM-tight ramp on 2 hosts that may grow to 4: the watermark
+  // autoscaler adds hosts while pressure builds and drains them once the
+  // storm subsides, re-placing drained tenants through placement +
+  // admission. Deterministic like everything else here.
+  auto scaled = fleet::Scenario::autoscale_storm(192, 2, 4);
+  scaled.guest_ram_bytes = 2048ull << 20;
+  scaled.cluster.ram_bytes = 24ull << 30;
+  auto fixed = scaled;
+  fixed.autoscale.enabled = false;
+  fleet::Cluster fixed_cluster(fixed.cluster);
+  const auto fixed_report = fixed_cluster.run(fixed);
+  fleet::Cluster scaled_cluster(scaled.cluster);
+  const auto scaled_report = scaled_cluster.run(scaled);
+  std::printf("--- %s: %d tenants, %d hosts fixed vs autoscale to %d ---\n",
+              scaled.name.c_str(), scaled.tenant_count,
+              scaled.cluster.host_count, scaled.autoscale.max_hosts);
+  std::printf("fixed topology   : %d admitted, %d rejected\n",
+              fixed_report.admitted, fixed_report.rejected);
+  std::printf("with autoscaling : %d admitted, %d rejected, final %d hosts\n\n",
+              scaled_report.admitted, scaled_report.rejected,
+              scaled_report.final_host_count);
+  print_report(scaled_report);
 
   return 0;
 }

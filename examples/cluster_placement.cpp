@@ -3,10 +3,13 @@
 // coldstart_storm.cpp shows 64 tenants contending for ONE host. This
 // example shards a 256-tenant storm across a 4-host fleet::Cluster under
 // each placement policy and compares what an operator actually trades:
-// round-robin and least-loaded spread load (best boot tail), ksm-affinity
-// co-locates tenants sharing a platform image so their KSM digest runs
-// merge (fewest backing pages -> most headroom), at some cost in tail
-// latency on the piled-up hosts.
+// round-robin, least-loaded and least-pressure spread load (best boot
+// tail), ksm-affinity and pack-then-spill co-locate tenants sharing a
+// platform image so their KSM digest runs merge (fewest backing pages ->
+// most headroom), at some cost in tail latency on the piled-up hosts.
+// Placement is only a preference: the policy *ranks* the hosts and the
+// admission walk spills a refused tenant to the next candidate instead of
+// recording an OOM.
 #include <cstdio>
 
 #include "fleet/cluster.h"
@@ -39,14 +42,16 @@ int main() {
   std::printf("%s\n", table.to_text().c_str());
 
   std::printf(
-      "Reading the table: all three policies admit every tenant (these\n"
-      "hosts have RAM to spare), but ksm-affinity needs the fewest backing\n"
-      "pages: same-image guests share their zero-page and image digest\n"
-      "runs only when they sit on the SAME host's KSM stable tree. Under\n"
-      "RAM pressure that headroom becomes extra admissions -- run\n"
-      "fleet_scale --hosts 4 to see it at 10k tenants.\n\n"
+      "Reading the table: every policy admits every tenant (these hosts\n"
+      "have RAM to spare), but the co-locating policies (ksm-affinity,\n"
+      "pack-then-spill) need the fewest backing pages: same-image guests\n"
+      "share their zero-page and image digest runs only when they sit on\n"
+      "the SAME host's KSM stable tree. Under RAM pressure that headroom\n"
+      "becomes extra admissions, and overshoot spills to the next-ranked\n"
+      "host instead of OOMing -- run fleet_scale --hosts 4 --autoscale to\n"
+      "see it at 10k tenants, plus the autoscaler growing the fleet.\n\n"
       "The per-host rollup of the last run (%s) shows the other side:\n"
-      "piling one platform per host narrows each host's attack surface\n"
+      "piling everything onto few hosts narrows the fleet's attack surface\n"
       "(hap fns column) but concentrates its boot storm.\n\n%s\n",
       last.placement.c_str(), last.to_text().c_str());
   return 0;

@@ -9,18 +9,25 @@
 // separation of application logic from distribution policy; RDA's
 // device/server partitioning): the policy decides *where*, the per-host
 // engine mechanism decides *what it costs*.
+//
+// The cluster is also the engine's HostProvisioner: scenarios with an
+// autoscale spec or timed HostEvents can add fresh hosts mid-run (each
+// with a deterministic RNG seed derived from its index) and drain live
+// ones (tenants re-placed through placement + admission, then the host
+// retires and takes no further placements).
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/host_system.h"
+#include "fleet/engine.h"
 #include "fleet/report.h"
 #include "fleet/scenario.h"
 
 namespace fleet {
 
-class Cluster {
+class Cluster : public HostProvisioner {
  public:
   /// Build host_count hosts from the topology. Host 0 uses the default
   /// HostSystemSpec RNG seed (so a 1-host cluster reproduces the
@@ -29,15 +36,38 @@ class Cluster {
 
   /// Run one scenario across the cluster with scenario.placement deciding
   /// where each tenant lands. Deterministic against fresh hosts; reuse
-  /// warms page caches and advances host RNG streams, so build a fresh
-  /// Cluster per reproducible run.
+  /// warms page caches, advances host RNG streams, and keeps hosts added
+  /// by a previous run's autoscaler, so build a fresh Cluster per
+  /// reproducible run.
   FleetReport run(const Scenario& scenario);
 
+  /// Append one more host shaped by the topology, with the same
+  /// index-derived RNG seed formula as construction — adding host i always
+  /// yields the same host, whether at build time or mid-run.
+  core::HostSystem& add_host();
+
+  /// Mark a host retired. During a run the engine re-places its tenants
+  /// first; a retired host takes no new placements for the rest of that
+  /// run. A subsequent run() revives every host.
+  void drain_host(int index);
+
   int host_count() const { return static_cast<int>(hosts_.size()); }
+  int live_host_count() const;
+  bool is_retired(int index) const {
+    return retired_.at(static_cast<std::size_t>(index));
+  }
   core::HostSystem& host(int i) { return *hosts_.at(static_cast<std::size_t>(i)); }
 
+  // HostProvisioner (the engine's view of the cluster):
+  core::HostSystem* provision_host() override { return &add_host(); }
+  void retire_host(int index) override { drain_host(index); }
+
  private:
+  core::HostSystemSpec spec_for(int index) const;
+
+  ClusterTopology topo_;
   std::vector<std::unique_ptr<core::HostSystem>> hosts_;
+  std::vector<bool> retired_;
 };
 
 }  // namespace fleet

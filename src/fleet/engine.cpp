@@ -117,8 +117,8 @@ FleetEngine::FleetEngine(core::HostSystem& host) {
 }
 
 FleetEngine::FleetEngine(const std::vector<core::HostSystem*>& hosts,
-                         PlacementPolicy* policy)
-    : policy_(policy) {
+                         PlacementPolicy* policy, HostProvisioner* provisioner)
+    : policy_(policy), provisioner_(provisioner) {
   if (hosts.empty()) {
     throw std::invalid_argument("FleetEngine: needs at least one host");
   }
@@ -189,6 +189,13 @@ void FleetEngine::note_peaks(Shard& sh) {
 bool FleetEngine::admit(Shard& sh, Tenant& t, const Scenario& s) {
   const std::uint64_t overhead = platform_overhead_bytes(t.platform_id);
   if (is_hypervisor_backed(t.platform_id) && s.enable_ksm) {
+    // Fast-fail before the KSM merge pass: advising only ever adds backing
+    // pages, so a host that cannot even fit the overhead on top of its
+    // current resident set cannot pass the post-advise check either. Keeps
+    // the retry walk from paying advise+scan on every hopeless candidate.
+    if (sh.resident_bytes() + overhead > sh.ram_cap) {
+      return false;
+    }
     sh.ksm.advise_runs(t.id, guest_page_runs(t.id, t.platform_id,
                                              s.guest_ram_bytes, s.image_bytes));
     sh.ksm.scan();
@@ -213,10 +220,18 @@ bool FleetEngine::admit(Shard& sh, Tenant& t, const Scenario& s) {
   return true;
 }
 
-int FleetEngine::place(const Tenant& t, const Scenario& s) {
+void FleetEngine::rank_candidates(const Tenant& t, const Scenario& s) {
+  ranked_.clear();
+  if (shards_.size() == 1) {
+    ranked_.push_back(0);
+    return;
+  }
   views_.clear();
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const Shard& sh = shards_[i];
+    if (!sh.live) {
+      continue;  // draining/retired hosts take no new placements
+    }
     HostView v;
     v.index = static_cast<int>(i);
     v.ram_cap_bytes = sh.ram_cap;
@@ -225,6 +240,9 @@ int FleetEngine::place(const Tenant& t, const Scenario& s) {
     const auto it = sh.tenants_by_platform.find(t.platform_id);
     v.same_platform_tenants =
         it == sh.tenants_by_platform.end() ? 0 : it->second;
+    v.pressure.cpu_demand = sh.cpu_demand;
+    v.pressure.cpu_threads = sh.host->spec().cpu_threads;
+    v.pressure.net_active = sh.net_active;
     views_.push_back(v);
   }
   PlacementRequest req;
@@ -232,12 +250,17 @@ int FleetEngine::place(const Tenant& t, const Scenario& s) {
   req.platform_id = t.platform_id;
   req.hypervisor_backed = is_hypervisor_backed(t.platform_id);
   req.guest_ram_bytes = s.guest_ram_bytes;
-  const int host = policy_->place(req, views_);
-  if (host < 0 || host >= static_cast<int>(shards_.size())) {
-    throw std::out_of_range(
-        "PlacementPolicy::place returned an invalid host index");
+  policy_->rank_hosts(req, views_, ranked_);
+  if (ranked_.empty()) {
+    throw std::logic_error("PlacementPolicy::rank_hosts ranked no hosts");
   }
-  return host;
+  for (const int host : ranked_) {
+    if (host < 0 || host >= static_cast<int>(shards_.size()) ||
+        !shards_[static_cast<std::size_t>(host)].live) {
+      throw std::out_of_range(
+          "PlacementPolicy::rank_hosts returned an invalid host index");
+    }
+  }
 }
 
 void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
@@ -250,19 +273,40 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
     return;
   }
 
-  const int host = shards_.size() > 1 ? place(t, s) : 0;
-  Shard& sh = shards_[static_cast<std::size_t>(host)];
-  t.host = host;
-  t.platform = sh.platforms.at(t.platform_id).get();
-
-  if (!admit(sh, t, s)) {
+  // Retry-on-reject: walk the policy's ranked candidates and admit on the
+  // first host whose RAM accepts the tenant. Only a full walk with every
+  // live host refusing is an OOM — attributed to the *last* host tried —
+  // and only then may the density-stop latch trip.
+  rank_candidates(t, s);
+  const int first_choice = ranked_.front();
+  int admitted_host = -1;
+  int last_tried = first_choice;
+  for (const int host : ranked_) {
+    Shard& candidate = shards_[static_cast<std::size_t>(host)];
+    last_tried = host;
+    t.platform = candidate.platforms.at(t.platform_id).get();
+    if (admit(candidate, t, s)) {
+      admitted_host = host;
+      break;
+    }
+  }
+  if (admitted_host < 0) {
     if (report_.first_oom_tenant < 0) {
       report_.first_oom_tenant = static_cast<std::int64_t>(t.id);
     }
     t.outcome.admitted = false;
+    t.resident_bytes = 0;
     ++report_.rejected;
-    ++sh.rollup.rejected;
+    ++shards_[static_cast<std::size_t>(last_tried)].rollup.rejected;
     return;
+  }
+
+  Shard& sh = shards_[static_cast<std::size_t>(admitted_host)];
+  t.host = admitted_host;
+  if (admitted_host != first_choice) {
+    ++report_.spills;
+    ++sh.rollup.spill_in;
+    ++shards_[static_cast<std::size_t>(first_choice)].rollup.spill_out;
   }
   t.outcome.admitted = true;
   ++report_.admitted;
@@ -271,6 +315,8 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
   ++sh.active;
   ++sh.tenants_by_platform[t.platform_id];
   sh.cpu_demand += kBootVcpus;
+  t.in_flight = Tenant::InFlight::kBoot;
+  t.holds_resources = true;
   note_peaks(sh);
 
   // Boot: the platform's sampled end-to-end sequence plus pulling the boot
@@ -295,12 +341,13 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
       static_cast<double>(boot_ns + image_ns) * sh.cpu_factor());
   t.clock.advance_to(arrival + total);
   t.outcome.boot_latency = total;
-  queue_.push(arrival + total, t.id, EventKind::kBootDone);
+  queue_.push(arrival + total, t.id, EventKind::kBootDone, t.epoch);
 }
 
 void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
   Shard& sh = shards_[static_cast<std::size_t>(t.host)];
   sh.cpu_demand -= kBootVcpus;
+  t.in_flight = Tenant::InFlight::kNone;
   // One string-keyed lookup per tenant, here; phases reuse the cached
   // pointer. Creating the entry lazily (not at tenant setup) keeps
   // platforms whose tenants never booted out of the report table.
@@ -317,7 +364,7 @@ void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
   report_.cluster_boot_ms.add(sim::to_millis(t.outcome.boot_latency));
 
   if (t.phases.empty()) {
-    queue_.push(t.clock.now(), t.id, EventKind::kTeardown);
+    queue_.push(t.clock.now(), t.id, EventKind::kTeardown, t.epoch);
     return;
   }
   start_phase(t, t.phases[static_cast<std::size_t>(t.next_phase)], s);
@@ -330,10 +377,11 @@ void FleetEngine::start_phase(Tenant& t, platforms::WorkloadClass w,
   if (w == WorkloadClass::kNetwork) {
     ++sh.net_active;
   }
+  t.in_flight = Tenant::InFlight::kPhase;
   note_peaks(sh);
   t.phase_start = t.clock.now();
   t.clock.advance(phase_cost(t, w, s));
-  queue_.push(t.clock.now(), t.id, EventKind::kPhaseDone);
+  queue_.push(t.clock.now(), t.id, EventKind::kPhaseDone, t.epoch);
 }
 
 void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
@@ -343,6 +391,7 @@ void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
   if (w == WorkloadClass::kNetwork) {
     --sh.net_active;
   }
+  t.in_flight = Tenant::InFlight::kNone;
   t.platform->record_workload(w, t.rng);  // this host's HAP window
   t.stats->phase_ms.add(sim::to_millis(t.clock.now() - t.phase_start));
   ++t.next_phase;
@@ -355,11 +404,26 @@ void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
   // Teardown costs one more trace-visible startup-class interaction.
   t.platform->record_workload(WorkloadClass::kStartup, t.rng);
   t.clock.advance(sim::millis(t.rng.uniform(2.0, 8.0)));
-  queue_.push(t.clock.now(), t.id, EventKind::kTeardown);
+  queue_.push(t.clock.now(), t.id, EventKind::kTeardown, t.epoch);
 }
 
-void FleetEngine::handle_teardown(Tenant& t, const Scenario& s) {
-  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+void FleetEngine::release_tenant(Shard& sh, Tenant& t) {
+  switch (t.in_flight) {
+    case Tenant::InFlight::kBoot:
+      sh.cpu_demand -= kBootVcpus;
+      break;
+    case Tenant::InFlight::kPhase: {
+      const WorkloadClass w = t.phases[static_cast<std::size_t>(t.next_phase)];
+      sh.cpu_demand -= workload_vcpus(w);
+      if (w == WorkloadClass::kNetwork) {
+        --sh.net_active;
+      }
+      break;
+    }
+    case Tenant::InFlight::kNone:
+      break;
+  }
+  t.in_flight = Tenant::InFlight::kNone;
   if (t.ksm_registered) {
     sh.ksm.remove(t.id);
     sh.ksm.scan();
@@ -370,6 +434,12 @@ void FleetEngine::handle_teardown(Tenant& t, const Scenario& s) {
   --active_;
   --sh.active;
   --sh.tenants_by_platform[t.platform_id];
+  t.holds_resources = false;
+}
+
+void FleetEngine::handle_teardown(Tenant& t, const Scenario& s) {
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+  release_tenant(sh, t);
   t.outcome.completed = true;
   t.outcome.completion = t.clock.now();
   ++t.outcome.rounds_completed;
@@ -389,7 +459,157 @@ void FleetEngine::handle_teardown(Tenant& t, const Scenario& s) {
     t.outcome.completion = 0;
     t.outcome.completed = false;
     ++report_.churn_rearrivals;
-    queue_.push(t.clock.now(), t.id, EventKind::kArrival);
+    queue_.push(t.clock.now(), t.id, EventKind::kArrival, t.epoch);
+  }
+}
+
+// --- Mid-run topology changes ----------------------------------------------
+
+int FleetEngine::live_host_count() const {
+  int live = 0;
+  for (const Shard& sh : shards_) {
+    live += sh.live ? 1 : 0;
+  }
+  return live;
+}
+
+double FleetEngine::resident_fraction() const {
+  std::uint64_t cap = 0;
+  std::uint64_t resident = 0;
+  for (const Shard& sh : shards_) {
+    if (!sh.live) {
+      continue;
+    }
+    cap += sh.ram_cap;
+    resident += sh.resident_bytes();
+  }
+  return cap == 0 ? 0.0
+                  : static_cast<double>(resident) / static_cast<double>(cap);
+}
+
+int FleetEngine::pick_drain_host() const {
+  int best = -1;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& sh = shards_[i];
+    if (!sh.live) {
+      continue;
+    }
+    // Fewest active tenants = cheapest migration; ties drain the highest
+    // index (the newest host), mirroring scale-out order.
+    if (best < 0 || sh.active <= shards_[static_cast<std::size_t>(best)].active) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void FleetEngine::record_autoscale(sim::Nanos time, const std::string& action,
+                                   int host, double fraction) {
+  FleetReport::AutoscaleAction a;
+  a.time = time;
+  a.action = action;
+  a.host = host;
+  a.live_hosts = live_host_count();
+  a.resident_fraction = fraction;
+  report_.autoscale_timeline.push_back(std::move(a));
+}
+
+int FleetEngine::add_shard(const Scenario& s) {
+  core::HostSystem* host = provisioner_->provision_host();
+  const int index = static_cast<int>(shards_.size());
+  shards_.emplace_back();
+  Shard& sh = shards_.back();
+  sh.host = host;
+  init_shard(sh, index, s);
+  // Mid-run hosts start observing from their birth instant, exactly like
+  // run() does for the initial set before the event loop.
+  sh.host->kernel().ftrace().start();
+  sh.cache_hits0 = sh.host->page_cache().hits();
+  sh.cache_misses0 = sh.host->page_cache().misses();
+  sh.nvme_read0 = sh.host->nvme().bytes_read();
+  return index;
+}
+
+void FleetEngine::drain_shard(int index, const Scenario& s, sim::Nanos now) {
+  Shard& sh = shards_[static_cast<std::size_t>(index)];
+  sh.live = false;
+  sh.rollup.drained = true;
+  // Re-place every tenant this host still held, as churn-style
+  // re-arrivals: resources released here and now, a fresh arrival event
+  // queued at the drain instant, placement + admission deciding again.
+  // Bumping the epoch discards the tenant's already-queued events.
+  for (Tenant& t : tenants_) {
+    if (t.host != index || !t.holds_resources) {
+      continue;
+    }
+    release_tenant(sh, t);
+    ++t.epoch;
+    t.next_phase = 0;
+    t.clock = sim::Clock(now);
+    t.outcome.arrival = now;
+    t.outcome.boot_latency = 0;
+    t.outcome.completion = 0;
+    t.outcome.completed = false;
+    ++report_.drain_migrations;
+    queue_.push(now, t.id, EventKind::kArrival, t.epoch);
+  }
+  if (provisioner_ != nullptr) {
+    provisioner_->retire_host(index);
+  }
+  (void)s;
+}
+
+void FleetEngine::handle_host_event(const Event& e, const Scenario& s) {
+  const HostEvent& he = s.host_events[static_cast<std::size_t>(e.tenant)];
+  if (he.kind == HostEvent::Kind::kAdd) {
+    if (provisioner_ == nullptr) {
+      return;  // a bare engine cannot grow; the hook is a no-op
+    }
+    const double fraction = resident_fraction();
+    const int index = add_shard(s);
+    record_autoscale(e.time, "add", index, fraction);
+    return;
+  }
+  int target = he.host;
+  if (target < 0) {
+    target = pick_drain_host();
+  }
+  if (target < 0 || target >= static_cast<int>(shards_.size()) ||
+      !shards_[static_cast<std::size_t>(target)].live ||
+      live_host_count() <= 1) {
+    return;  // never drain the last live host or a dead index
+  }
+  const double fraction = resident_fraction();
+  drain_shard(target, s, e.time);
+  record_autoscale(e.time, "drain", target, fraction);
+}
+
+void FleetEngine::handle_autoscale_eval(sim::Nanos now, const Scenario& s) {
+  const AutoscaleSpec& a = s.autoscale;
+  const double fraction = resident_fraction();
+  const bool cooled = !has_scaled_ || now - last_scale_ >= a.cooldown_ms;
+  if (cooled) {
+    const int live = live_host_count();
+    if (fraction > a.scale_out_watermark && live < a.max_hosts &&
+        provisioner_ != nullptr) {
+      const int index = add_shard(s);
+      record_autoscale(now, "scale-out", index, fraction);
+      has_scaled_ = true;
+      last_scale_ = now;
+    } else if (fraction < a.scale_in_watermark && live > a.min_hosts) {
+      const int target = pick_drain_host();
+      if (target >= 0) {
+        drain_shard(target, s, now);
+        record_autoscale(now, "scale-in", target, fraction);
+        has_scaled_ = true;
+        last_scale_ = now;
+      }
+    }
+  }
+  // Keep evaluating while any tenant activity remains; when this eval was
+  // the only queued event, the loop (and the run) is over.
+  if (!queue_.empty()) {
+    queue_.push(now + a.eval_interval, 0, EventKind::kAutoscaleEval);
   }
 }
 
@@ -444,6 +664,28 @@ sim::Nanos FleetEngine::phase_cost(Tenant& t, WorkloadClass w,
   return static_cast<sim::Nanos>(static_cast<double>(cost) * sh.cpu_factor());
 }
 
+void FleetEngine::init_shard(Shard& sh, int index, const Scenario& s) {
+  sh.live = true;
+  sh.ksm = mem::Ksm{};
+  sh.platforms.clear();
+  sh.active = 0;
+  sh.net_active = 0;
+  sh.cpu_demand = 0.0;
+  sh.non_ksm_resident = 0;
+  sh.ram_cap = s.host_ram_override_bytes != 0 ? s.host_ram_override_bytes
+                                              : sh.host->spec().ram_bytes;
+  sh.tenants_by_platform.clear();
+  sh.rollup = HostRollup{};
+  sh.rollup.host = index;
+  // One shared platform instance per distinct id in the mix.
+  for (const auto& share : s.platform_mix) {
+    if (sh.platforms.find(share.id) == sh.platforms.end()) {
+      sh.platforms[share.id] =
+          platforms::PlatformFactory::create(share.id, *sh.host);
+    }
+  }
+}
+
 FleetReport FleetEngine::run(const Scenario& s) {
   if (s.platform_mix.empty() || s.workload_mix.empty()) {
     throw std::invalid_argument(
@@ -453,47 +695,41 @@ FleetReport FleetEngine::run(const Scenario& s) {
     throw std::invalid_argument(
         "FleetEngine::run: cluster runs need a placement policy");
   }
+  if (s.autoscale.enabled && s.autoscale.eval_interval <= 0) {
+    // A non-advancing evaluation would re-queue itself at the same instant
+    // forever, ahead of every tenant event.
+    throw std::invalid_argument(
+        "FleetEngine::run: autoscale.eval_interval must be positive");
+  }
   queue_ = EventQueue{};
   report_ = FleetReport{};
   report_.scenario = s.name;
   report_.seed = s.seed;
-  if (shards_.size() > 1) {
+  // Runs that start single-host but may grow (autoscale, host events) need
+  // the policy name too; plain single-host runs keep it empty so their
+  // to_text() stays byte-identical to the pinned goldens.
+  if (policy_ != nullptr &&
+      (shards_.size() > 1 || s.autoscale.enabled || !s.host_events.empty())) {
     report_.placement = policy_->name();
   }
   tenants_.clear();
   global_clock_.reset();
   active_ = 0;
+  last_scale_ = 0;
+  has_scaled_ = false;
   if (policy_ != nullptr) {
     policy_->reset();
   }
 
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    Shard& sh = shards_[i];
-    sh.ksm = mem::Ksm{};
-    sh.platforms.clear();
-    sh.active = 0;
-    sh.net_active = 0;
-    sh.cpu_demand = 0.0;
-    sh.non_ksm_resident = 0;
-    sh.ram_cap = s.host_ram_override_bytes != 0 ? s.host_ram_override_bytes
-                                                : sh.host->spec().ram_bytes;
-    sh.tenants_by_platform.clear();
-    sh.rollup = HostRollup{};
-    sh.rollup.host = static_cast<int>(i);
+    init_shard(shards_[i], static_cast<int>(i), s);
   }
 
   sim::Rng rng(s.seed);
 
-  // One shared platform instance per distinct id in the mix, per shard.
   double mix_total = 0.0;
   for (const auto& share : s.platform_mix) {
     mix_total += share.weight;
-    for (Shard& sh : shards_) {
-      if (sh.platforms.find(share.id) == sh.platforms.end()) {
-        sh.platforms[share.id] =
-            platforms::PlatformFactory::create(share.id, *sh.host);
-      }
-    }
   }
   double workload_total = 0.0;
   for (const auto& share : s.workload_mix) {
@@ -572,6 +808,16 @@ FleetReport FleetEngine::run(const Scenario& s) {
                 EventKind::kArrival);
   }
 
+  // Topology-change events share the one global deterministic queue with
+  // tenant events, so autoscaled runs stay byte-reproducible.
+  for (std::size_t i = 0; i < s.host_events.size(); ++i) {
+    queue_.push(s.host_events[i].time, static_cast<std::uint64_t>(i),
+                EventKind::kHostEvent);
+  }
+  if (s.autoscale.enabled) {
+    queue_.push(s.autoscale.eval_interval, 0, EventKind::kAutoscaleEval);
+  }
+
   for (Shard& sh : shards_) {
     sh.cache_hits0 = sh.host->page_cache().hits();
     sh.cache_misses0 = sh.host->page_cache().misses();
@@ -584,8 +830,19 @@ FleetReport FleetEngine::run(const Scenario& s) {
     const Event e = queue_.pop();
     ++report_.events_processed;
     global_clock_.advance_to(e.time);
-    last_event = e.time;
+    if (e.kind == EventKind::kHostEvent) {
+      handle_host_event(e, s);
+      continue;
+    }
+    if (e.kind == EventKind::kAutoscaleEval) {
+      handle_autoscale_eval(e.time, s);
+      continue;
+    }
     Tenant& t = tenants_[e.tenant];
+    if (e.epoch != t.epoch) {
+      continue;  // canceled by a drain migration; superseded lifecycle
+    }
+    last_event = e.time;  // makespan tracks tenant activity, not evals
     switch (e.kind) {
       case EventKind::kArrival:
         handle_arrival(t, s);
@@ -599,6 +856,9 @@ FleetReport FleetEngine::run(const Scenario& s) {
       case EventKind::kTeardown:
         handle_teardown(t, s);
         break;
+      case EventKind::kHostEvent:
+      case EventKind::kAutoscaleEval:
+        break;  // handled above
     }
   }
 
@@ -630,6 +890,7 @@ FleetReport FleetEngine::run(const Scenario& s) {
 
   report_.ksm.enabled = s.enable_ksm;
   report_.makespan = last_event - first_arrival;
+  report_.final_host_count = live_host_count();
 
   report_.tenants.reserve(tenants_.size());
   for (const Tenant& t : tenants_) {

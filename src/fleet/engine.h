@@ -41,14 +41,30 @@ namespace fleet {
 /// their process RSS.
 bool is_hypervisor_backed(platforms::PlatformId id);
 
+/// Supplies fresh hosts for mid-run scale-out and observes drains.
+/// fleet::Cluster implements this; a bare FleetEngine without one simply
+/// cannot grow (scale-out requests are ignored).
+class HostProvisioner {
+ public:
+  virtual ~HostProvisioner() = default;
+  /// Create one more host (deterministic per-host RNG seed derived from
+  /// its index) and return it; the engine builds a shard around it. The
+  /// host must stay alive for the rest of the run.
+  virtual core::HostSystem* provision_host() = 0;
+  /// The engine drained this host index (its tenants were re-placed).
+  virtual void retire_host(int index) { (void)index; }
+};
+
 class FleetEngine {
  public:
   explicit FleetEngine(core::HostSystem& host);
 
   /// Cluster mode: shard tenants across `hosts` with `policy` (non-owning;
   /// must outlive the engine). A policy is required when hosts.size() > 1.
+  /// `provisioner` (optional, non-owning) enables mid-run scale-out.
   FleetEngine(const std::vector<core::HostSystem*>& hosts,
-              PlacementPolicy* policy);
+              PlacementPolicy* policy,
+              HostProvisioner* provisioner = nullptr);
 
   /// Run one scenario to completion and return its report. Deterministic
   /// given (scenario, fresh hosts): the engine derives every random stream
@@ -75,12 +91,23 @@ class FleetEngine {
     std::uint64_t resident_bytes = 0;  // non-KSM-managed share
     bool ksm_registered = false;
     bool counted_in_stats = false;  // already in its platform's tenant count
+    /// What demand the tenant currently charges its shard, so a drain can
+    /// release it exactly (a boot's kBootVcpus, a phase's vcpus + NIC slot).
+    enum class InFlight { kNone, kBoot, kPhase } in_flight = InFlight::kNone;
+    /// Admitted and not yet released (teardown or drain migration).
+    bool holds_resources = false;
+    /// Lifecycle generation; bumped by a drain migration to invalidate the
+    /// tenant's already-queued events.
+    std::uint32_t epoch = 0;
   };
 
   /// Per-host mechanism state: one HostSystem plus everything the engine
   /// charges against it. Single-host runs have exactly one shard.
   struct Shard {
     core::HostSystem* host = nullptr;
+    /// False once drained: excluded from placement snapshots and admission
+    /// walks; its rollup stays in the report.
+    bool live = true;
     mem::Ksm ksm;
     std::unordered_map<platforms::PlatformId,
                        std::unique_ptr<platforms::Platform>>
@@ -118,8 +145,26 @@ class FleetEngine {
   /// still fit?
   bool admit(Shard& sh, Tenant& t, const Scenario& s);
 
-  /// Consult the placement policy for an arriving tenant (M > 1 only).
-  int place(const Tenant& t, const Scenario& s);
+  /// Fill ranked_ with the live-host candidate walk for an arriving
+  /// tenant: the policy's ranking in cluster mode, the single live shard
+  /// otherwise.
+  void rank_candidates(const Tenant& t, const Scenario& s);
+
+  /// Release everything tenant t currently charges against shard sh:
+  /// in-flight CPU/NIC demand, KSM registration, resident bytes, active
+  /// counters. Shared by teardown and drain migration.
+  void release_tenant(Shard& sh, Tenant& t);
+
+  // Mid-run topology changes.
+  int add_shard(const Scenario& s);
+  void drain_shard(int index, const Scenario& s, sim::Nanos now);
+  int pick_drain_host() const;  // fewest active tenants, ties: highest index
+  int live_host_count() const;
+  void record_autoscale(sim::Nanos time, const std::string& action, int host,
+                        double resident_fraction);
+  double resident_fraction() const;  // over live hosts
+  void handle_host_event(const Event& e, const Scenario& s);
+  void handle_autoscale_eval(sim::Nanos now, const Scenario& s);
 
   /// Virtual duration of one workload phase, including platform profile
   /// scaling and charges to the shard's host models.
@@ -128,18 +173,26 @@ class FleetEngine {
 
   void note_peaks(Shard& sh);
 
+  /// Set up a freshly constructed or reset shard for this run: KSM tree,
+  /// platform instances for the scenario mix, RAM cap, rollup identity.
+  void init_shard(Shard& sh, int index, const Scenario& s);
+
   std::vector<Shard> shards_;
   PlacementPolicy* policy_ = nullptr;  // non-owning; required when M > 1
+  HostProvisioner* provisioner_ = nullptr;  // non-owning; enables scale-out
   EventQueue queue_;
   sim::Clock global_clock_;
   /// Dense tenant table: ids are assigned 0..N-1, so the event loop indexes
   /// directly instead of hashing per event.
   std::vector<Tenant> tenants_;
   std::vector<HostView> views_;  // recycled placement snapshot storage
+  std::vector<int> ranked_;      // recycled candidate-walk storage
   hap::EpssModel epss_;
   FleetReport report_;
 
   int active_ = 0;  // fleet-wide admitted, not yet torn down
+  sim::Nanos last_scale_ = 0;  // virtual time of the last autoscale action
+  bool has_scaled_ = false;
 };
 
 }  // namespace fleet

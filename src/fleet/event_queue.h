@@ -23,10 +23,13 @@
 namespace fleet {
 
 enum class EventKind {
-  kArrival,    // tenant requests admission and starts booting
-  kBootDone,   // boot sequence finished; workload phases begin
-  kPhaseDone,  // one workload phase finished
-  kTeardown,   // tenant released its resources
+  kArrival,        // tenant requests admission and starts booting
+  kBootDone,       // boot sequence finished; workload phases begin
+  kPhaseDone,      // one workload phase finished
+  kTeardown,       // tenant released its resources
+  kHostEvent,      // timed operator hook: add or drain a host (tenant field
+                   //   indexes Scenario::host_events)
+  kAutoscaleEval,  // periodic watermark evaluation (tenant field unused)
 };
 
 struct Event {
@@ -34,12 +37,17 @@ struct Event {
   std::uint64_t seq = 0;  // global issue order, breaks time ties
   std::uint64_t tenant = 0;
   EventKind kind = EventKind::kArrival;
+  /// Tenant lifecycle generation. A host drain migrates its tenants by
+  /// bumping their epoch and re-injecting arrivals; already-queued events
+  /// carrying the old epoch are popped and discarded, deterministically.
+  std::uint32_t epoch = 0;
 };
 
 /// Pops events in (time, seq) order; push() stamps the sequence number.
 class EventQueue {
  public:
-  void push(sim::Nanos time, std::uint64_t tenant, EventKind kind) {
+  void push(sim::Nanos time, std::uint64_t tenant, EventKind kind,
+            std::uint32_t epoch = 0) {
     const std::uint64_t seq = next_seq_++;
     const auto [it, inserted] = open_.try_emplace(time, 0u);
     if (inserted) {
@@ -47,7 +55,7 @@ class EventQueue {
       heap_.push_back(it->second);
       sift_up(heap_.size() - 1);
     }
-    batches_[it->second].items.push_back(Item{seq, tenant, kind});
+    batches_[it->second].items.push_back(Item{seq, tenant, kind, epoch});
     ++size_;
   }
 
@@ -58,14 +66,14 @@ class EventQueue {
   Event top() const {
     const Batch& b = batches_[heap_.front()];
     const Item& item = b.items[b.cursor];
-    return Event{b.time, item.seq, item.tenant, item.kind};
+    return Event{b.time, item.seq, item.tenant, item.kind, item.epoch};
   }
 
   Event pop() {
     const std::uint32_t id = heap_.front();
     Batch& b = batches_[id];
     const Item item = b.items[b.cursor++];
-    const Event e{b.time, item.seq, item.tenant, item.kind};
+    const Event e{b.time, item.seq, item.tenant, item.kind, item.epoch};
     --size_;
     if (b.cursor == b.items.size()) {
       // Batch drained: retire it. A later push at the same timestamp simply
@@ -82,6 +90,7 @@ class EventQueue {
     std::uint64_t seq;
     std::uint64_t tenant;
     EventKind kind;
+    std::uint32_t epoch;
   };
 
   /// All events queued for one exact timestamp, in push (= seq) order.

@@ -1,5 +1,6 @@
 #include "fleet/placement.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fleet {
@@ -12,13 +13,39 @@ std::uint64_t free_bytes(const HostView& h) {
              : 0;
 }
 
+/// Sort positions 0..n-1 by `less` (which must totally order ties, e.g. by
+/// index) and append the corresponding HostView::index values to `ranked`.
+/// Sorts inside `ranked` itself — no scratch allocation on the per-arrival
+/// hot path (the engine recycles the ranked buffer).
+template <typename Less>
+void rank_by(const std::vector<HostView>& hosts, std::vector<int>& ranked,
+             Less less) {
+  const auto first = static_cast<std::ptrdiff_t>(ranked.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    ranked.push_back(static_cast<int>(i));
+  }
+  std::sort(ranked.begin() + first, ranked.end(), [&](int a, int b) {
+    return less(hosts[static_cast<std::size_t>(a)],
+                hosts[static_cast<std::size_t>(b)]);
+  });
+  for (auto it = ranked.begin() + first; it != ranked.end(); ++it) {
+    *it = hosts[static_cast<std::size_t>(*it)].index;
+  }
+}
+
 class RoundRobinPlacement final : public PlacementPolicy {
  public:
   std::string name() const override { return "round-robin"; }
   void reset() override { cursor_ = 0; }
-  int place(const PlacementRequest&,
-            const std::vector<HostView>& hosts) override {
-    return static_cast<int>(cursor_++ % hosts.size());
+  void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
+                  std::vector<int>& ranked) override {
+    // One cursor step per arrival; the retry walk continues around the
+    // cycle from wherever the cursor landed.
+    const std::size_t n = hosts.size();
+    const std::size_t start = static_cast<std::size_t>(cursor_++ % n);
+    for (std::size_t k = 0; k < n; ++k) {
+      ranked.push_back(hosts[(start + k) % n].index);
+    }
   }
 
  private:
@@ -28,41 +55,120 @@ class RoundRobinPlacement final : public PlacementPolicy {
 class LeastLoadedPlacement final : public PlacementPolicy {
  public:
   std::string name() const override { return "least-loaded"; }
-  int place(const PlacementRequest&,
-            const std::vector<HostView>& hosts) override {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < hosts.size(); ++i) {
-      if (free_bytes(hosts[i]) > free_bytes(hosts[best])) {
-        best = i;
+  void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
+                  std::vector<int>& ranked) override {
+    rank_by(hosts, ranked, [](const HostView& a, const HostView& b) {
+      const std::uint64_t fa = free_bytes(a);
+      const std::uint64_t fb = free_bytes(b);
+      if (fa != fb) {
+        return fa > fb;
       }
-    }
-    return hosts[best].index;
+      return a.index < b.index;
+    });
   }
 };
 
 class KsmAffinityPlacement final : public PlacementPolicy {
  public:
   std::string name() const override { return "ksm-affinity"; }
-  int place(const PlacementRequest&,
-            const std::vector<HostView>& hosts) override {
+  void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
+                  std::vector<int>& ranked) override {
     // Lexicographic (co-tenants, free RAM): with no co-tenant anywhere this
     // degrades to least-loaded, which also spreads the first tenant of each
     // platform onto the emptiest host before piles start forming.
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < hosts.size(); ++i) {
-      const HostView& h = hosts[i];
-      const HostView& b = hosts[best];
-      if (h.same_platform_tenants > b.same_platform_tenants ||
-          (h.same_platform_tenants == b.same_platform_tenants &&
-           free_bytes(h) > free_bytes(b))) {
-        best = i;
+    rank_by(hosts, ranked, [](const HostView& a, const HostView& b) {
+      if (a.same_platform_tenants != b.same_platform_tenants) {
+        return a.same_platform_tenants > b.same_platform_tenants;
       }
-    }
-    return hosts[best].index;
+      const std::uint64_t fa = free_bytes(a);
+      const std::uint64_t fb = free_bytes(b);
+      if (fa != fb) {
+        return fa > fb;
+      }
+      return a.index < b.index;
+    });
+  }
+};
+
+/// Weighted pressure score: RAM dominates (it is the hard admission
+/// limit), CPU demand stretches every in-flight duration, the NIC only
+/// congests network phases.
+constexpr double kRamWeight = 0.5;
+constexpr double kCpuWeight = 0.35;
+constexpr double kNicWeight = 0.15;
+
+double pressure_score(const HostView& h) {
+  const double ram_used =
+      h.ram_cap_bytes == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(free_bytes(h)) /
+                      static_cast<double>(h.ram_cap_bytes);
+  const double threads = static_cast<double>(std::max(1, h.pressure.cpu_threads));
+  // CPU and NIC saturate at 1.0: past saturation everything on the host is
+  // already stretched, and RAM — the hard admission limit — must keep
+  // dominating the comparison.
+  const double cpu = std::min(1.0, h.pressure.cpu_demand / threads);
+  const double nic =
+      std::min(1.0, static_cast<double>(h.pressure.net_active) / threads);
+  return kRamWeight * ram_used + kCpuWeight * cpu + kNicWeight * nic;
+}
+
+class LeastPressurePlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "least-pressure"; }
+  void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
+                  std::vector<int>& ranked) override {
+    rank_by(hosts, ranked, [](const HostView& a, const HostView& b) {
+      const double sa = pressure_score(a);
+      const double sb = pressure_score(b);
+      if (sa != sb) {
+        return sa < sb;
+      }
+      return a.index < b.index;
+    });
+  }
+};
+
+/// Fraction of a host's RAM that pack-then-spill fills before opening the
+/// next host. Below 1.0 so the pile leaves headroom for admission-time
+/// variance; the retry walk absorbs overshoot as a spill, not an OOM.
+constexpr double kPackWatermark = 0.9;
+
+bool above_watermark(const HostView& h) {
+  return static_cast<double>(h.resident_bytes) >=
+         kPackWatermark * static_cast<double>(h.ram_cap_bytes);
+}
+
+class PackThenSpillPlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "pack-then-spill"; }
+  void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
+                  std::vector<int>& ranked) override {
+    // Hosts below the watermark in index order (so the lowest-index open
+    // host soaks up every arrival until it crosses the line), then the
+    // full hosts in index order as spill targets of last resort.
+    rank_by(hosts, ranked, [](const HostView& a, const HostView& b) {
+      const bool fa = above_watermark(a);
+      const bool fb = above_watermark(b);
+      if (fa != fb) {
+        return !fa;
+      }
+      return a.index < b.index;
+    });
   }
 };
 
 }  // namespace
+
+int PlacementPolicy::place(const PlacementRequest& req,
+                           const std::vector<HostView>& hosts) {
+  std::vector<int> ranked;
+  rank_hosts(req, hosts, ranked);
+  if (ranked.empty()) {
+    throw std::logic_error("PlacementPolicy::rank_hosts ranked no hosts");
+  }
+  return ranked.front();
+}
 
 std::string placement_kind_name(PlacementKind k) {
   switch (k) {
@@ -72,13 +178,18 @@ std::string placement_kind_name(PlacementKind k) {
       return "least-loaded";
     case PlacementKind::kKsmAffinity:
       return "ksm-affinity";
+    case PlacementKind::kLeastPressure:
+      return "least-pressure";
+    case PlacementKind::kPackThenSpill:
+      return "pack-then-spill";
   }
   return "unknown";
 }
 
 std::vector<PlacementKind> all_placement_kinds() {
   return {PlacementKind::kRoundRobin, PlacementKind::kLeastLoaded,
-          PlacementKind::kKsmAffinity};
+          PlacementKind::kKsmAffinity, PlacementKind::kLeastPressure,
+          PlacementKind::kPackThenSpill};
 }
 
 std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind) {
@@ -89,6 +200,10 @@ std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind) {
       return std::make_unique<LeastLoadedPlacement>();
     case PlacementKind::kKsmAffinity:
       return std::make_unique<KsmAffinityPlacement>();
+    case PlacementKind::kLeastPressure:
+      return std::make_unique<LeastPressurePlacement>();
+    case PlacementKind::kPackThenSpill:
+      return std::make_unique<PackThenSpillPlacement>();
   }
   throw std::invalid_argument("make_placement: unknown PlacementKind");
 }

@@ -1,18 +1,32 @@
-// PlacementPolicy: where does the next tenant land?
+// PlacementPolicy: where does the next tenant land — and where next if
+// that host refuses?
 //
 // The cluster splits scheduling into policy (this header) and mechanism
 // (FleetEngine charging one shard's host models): a policy sees a snapshot
-// of every host's load and picks an index, nothing more. Placement runs
-// once per arrival, consults no RNG, and admission control on the chosen
-// host remains authoritative — a policy may overpack a host and take the
-// OOM rejection, which the per-host report rollups then make visible.
+// of every live host's load and ranks them, nothing more. Placement runs
+// once per arrival, consults no RNG, and admission control on the hosts
+// remains authoritative — the engine walks the ranked candidate list in
+// order and admits on the first host whose RAM accepts the tenant
+// (retry-on-reject). Only when every live host refused is the arrival an
+// OOM, attributed to the last host tried; an admission on any host other
+// than the first-ranked one is a *spill*, counted per host
+// (HostRollup::spill_out on the first choice, spill_in on the admitter) so
+// policies can be compared on how much spilling they cause.
 //
 // Built-in policies:
-//   round-robin   — cycle hosts in index order, ignoring load
-//   least-loaded  — most free RAM first (ties: lowest index)
-//   ksm-affinity  — co-locate tenants of the same platform image so their
-//                   KSM digest runs (and boot image cache) merge; falls
-//                   back to least-loaded while no co-tenant exists
+//   round-robin     — cycle hosts in index order, ignoring load
+//   least-loaded    — most free RAM first (ties: lowest index)
+//   ksm-affinity    — co-locate tenants of the same platform image so their
+//                     KSM digest runs (and boot image cache) merge; falls
+//                     back to least-loaded while no co-tenant exists
+//   least-pressure  — lowest weighted RAM/CPU/NIC pressure score first,
+//                     using the HostPressure snapshot the engine maintains
+//                     incrementally (free RAM, vCPU demand, active network
+//                     phases, tenant count)
+//   pack-then-spill — fill the lowest-index host to a resident watermark
+//                     before opening the next, maximizing KSM merge
+//                     density; the retry walk turns watermark overshoot
+//                     into a spill instead of an OOM
 #pragma once
 
 #include <cstdint>
@@ -28,6 +42,8 @@ enum class PlacementKind {
   kRoundRobin,
   kLeastLoaded,
   kKsmAffinity,
+  kLeastPressure,
+  kPackThenSpill,
 };
 
 std::string placement_kind_name(PlacementKind k);
@@ -35,7 +51,22 @@ std::string placement_kind_name(PlacementKind k);
 /// All built-in policies, in a stable sweep order for benches and tests.
 std::vector<PlacementKind> all_placement_kinds();
 
-/// One host's load as the policy sees it at an arrival.
+/// One host's runtime CPU/NIC pressure as the engine tracks it
+/// incrementally: nothing here is recomputed from scratch at an arrival.
+/// RAM (ram_cap_bytes/resident_bytes) and tenant count live on HostView
+/// itself — one source of truth per quantity.
+struct HostPressure {
+  /// vCPUs currently demanded by in-flight boots and phases on this host.
+  double cpu_demand = 0.0;
+  int cpu_threads = 1;
+  /// Tenants currently inside a network phase (sharing this host's NIC).
+  int net_active = 0;
+};
+
+/// One host's load as the policy sees it at an arrival — together with
+/// `pressure`, the full snapshot (free RAM, CPU demand, NIC activity,
+/// tenant count) pressure-aware policies rank on. Only live
+/// (non-draining) hosts appear in the snapshot.
 struct HostView {
   int index = 0;
   std::uint64_t ram_cap_bytes = 0;
@@ -45,6 +76,7 @@ struct HostView {
   int active_tenants = 0;
   /// Active tenants on this host running the arriving tenant's platform.
   int same_platform_tenants = 0;
+  HostPressure pressure;
 };
 
 /// The arriving tenant, as much as a policy may know about it.
@@ -65,12 +97,42 @@ class PlacementPolicy {
   /// identical runs make identical decisions.
   virtual void reset() {}
 
-  /// Pick the host index for this arrival. `hosts` has one view per host,
-  /// in index order, and is never empty. Must return a valid index.
-  virtual int place(const PlacementRequest& req,
-                    const std::vector<HostView>& hosts) = 0;
+  /// Rank hosts from most to least preferred, appending HostView::index
+  /// values to `ranked` (which arrives cleared). `hosts` has one view per
+  /// live host, in index order, and is never empty. The engine tries
+  /// admission in ranked order. Must append a non-empty subset, each host
+  /// at most once; hosts left unranked are simply never tried (that is
+  /// how SingleShotPolicy emulates PR 3's no-retry placement).
+  virtual void rank_hosts(const PlacementRequest& req,
+                          const std::vector<HostView>& hosts,
+                          std::vector<int>& ranked) = 0;
+
+  /// Convenience: the most-preferred host (front of rank_hosts). Advances
+  /// any cursor state exactly like one rank_hosts call.
+  int place(const PlacementRequest& req, const std::vector<HostView>& hosts);
 };
 
 std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind);
+
+/// Wraps a policy but ranks only its first choice — PR 3's single-shot
+/// placement semantics, where a refusal is an OOM even if another host
+/// has room. For differential comparisons against the retry walk
+/// (bench/fleet_scale's retry_vs_single_shot block and the spill-chain
+/// tests share this definition).
+class SingleShotPolicy final : public PlacementPolicy {
+ public:
+  explicit SingleShotPolicy(std::unique_ptr<PlacementPolicy> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override { return inner_->name() + "-single-shot"; }
+  void reset() override { inner_->reset(); }
+  void rank_hosts(const PlacementRequest& req,
+                  const std::vector<HostView>& hosts,
+                  std::vector<int>& ranked) override {
+    ranked.push_back(inner_->place(req, hosts));
+  }
+
+ private:
+  std::unique_ptr<PlacementPolicy> inner_;
+};
 
 }  // namespace fleet

@@ -26,6 +26,10 @@ std::string FleetReport::to_text() const {
   out += "tenants: " + std::to_string(admitted) + " admitted, " +
          std::to_string(rejected) + " rejected, " + std::to_string(completed) +
          " completed; peak active " + std::to_string(peak_active) + "\n";
+  if (spills > 0) {
+    out += "spills: " + std::to_string(spills) +
+           " admissions landed on a lower-ranked host after a refusal\n";
+  }
   out += "makespan: " + fmt("%.2f", sim::to_millis(makespan)) + " ms; peak CPU demand " +
          fmt("%.2f", peak_cpu_demand) + "x host threads; peak resident " +
          fmt("%.1f", static_cast<double>(peak_resident_bytes) / (1ull << 30)) +
@@ -56,6 +60,21 @@ std::string FleetReport::to_text() const {
   if (churn_rearrivals > 0) {
     out += "churn: " + std::to_string(churn_rearrivals) + " re-arrivals\n";
   }
+  if (!autoscale_timeline.empty()) {
+    out += "autoscale: " + std::to_string(autoscale_timeline.size()) +
+           " actions; final " + std::to_string(final_host_count) +
+           " live hosts";
+    if (drain_migrations > 0) {
+      out += "; " + std::to_string(drain_migrations) + " drain migrations";
+    }
+    out += "\n";
+    for (const AutoscaleAction& a : autoscale_timeline) {
+      out += "  t=" + fmt("%.2f", sim::to_millis(a.time)) + " ms  " +
+             a.action + " host " + std::to_string(a.host) + " (" +
+             std::to_string(a.live_hosts) + " live, resident " +
+             fmt("%.1f", 100.0 * a.resident_fraction) + "%)\n";
+    }
+  }
   out += "\n";
 
   stats::Table table({"platform", "tenants", "boot p50 (ms)", "boot p90 (ms)",
@@ -77,13 +96,18 @@ std::string FleetReport::to_text() const {
 
   if (is_cluster()) {
     out += "\n";
-    stats::Table host_table({"host", "admitted", "rejected", "peak active",
+    stats::Table host_table({"host", "admitted", "rejected", "spill in",
+                             "spill out", "peak active",
                              "peak resident (GiB)", "ksm shared pages",
                              "hap fns", "extended HAP"});
+    bool any_drained = false;
     for (const HostRollup& h : hosts) {
+      any_drained = any_drained || h.drained;
       host_table.add_row(
-          {std::to_string(h.host), std::to_string(h.admitted),
-           std::to_string(h.rejected), std::to_string(h.peak_active),
+          {std::to_string(h.host) + (h.drained ? "*" : ""),
+           std::to_string(h.admitted),
+           std::to_string(h.rejected), std::to_string(h.spill_in),
+           std::to_string(h.spill_out), std::to_string(h.peak_active),
            stats::Table::num(static_cast<double>(h.peak_resident_bytes) /
                              static_cast<double>(1ull << 30), 1),
            std::to_string(h.ksm.shared_pages),
@@ -91,6 +115,9 @@ std::string FleetReport::to_text() const {
            stats::Table::num(h.hap.extended_hap)});
     }
     out += host_table.to_text();
+    if (any_drained) {
+      out += "(* = host was drained mid-run)\n";
+    }
   }
   return out;
 }

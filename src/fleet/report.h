@@ -71,11 +71,21 @@ struct FleetHapRollup {
 struct HostRollup {
   int host = 0;
   int admitted = 0;
-  /// OOM rejections this host's RAM actually refused. Rejections
-  /// short-circuited by a tripped stop_at_first_oom latch never consult a
-  /// host and count only in the fleet-level total, so under that latch
-  /// FleetReport::rejected can exceed the sum over hosts.
+  /// Full-candidate-walk failures attributed to this host — i.e. this was
+  /// the *last* host tried when every live host refused the tenant.
+  /// Rejections short-circuited by a tripped stop_at_first_oom latch never
+  /// consult a host and count only in the fleet-level total, so under that
+  /// latch FleetReport::rejected can exceed the sum over hosts.
   int rejected = 0;
+  /// Spilled admissions this host absorbed: tenants admitted here after a
+  /// higher-ranked host refused them.
+  int spill_in = 0;
+  /// Tenants this host (as the placement's first choice) refused that were
+  /// then admitted elsewhere. Fleet-wide, sum(spill_out) == sum(spill_in).
+  int spill_out = 0;
+  /// True once the host was drained (autoscale scale-in or an explicit
+  /// HostEvent): its tenants were re-placed and it stopped taking new ones.
+  bool drained = false;
   int peak_active = 0;
   std::uint64_t peak_resident_bytes = 0;
   FleetKsmStats ksm;
@@ -105,6 +115,9 @@ class FleetReport {
   int admitted = 0;
   int rejected = 0;
   int completed = 0;
+  /// Admissions that landed on a host other than the placement's first
+  /// choice (retry-on-reject walked past at least one refusal).
+  int spills = 0;
   int peak_active = 0;
   double peak_cpu_demand = 0.0;  // vCPUs demanded / host threads, at peak
   /// First tenant whose admission would have exceeded host RAM; -1 if the
@@ -127,6 +140,40 @@ class FleetReport {
 
   /// Re-arrivals scheduled by tenant churn loops (scenario.churn_rounds).
   int churn_rearrivals = 0;
+
+  /// Tenants a host drain re-placed through placement + admission as
+  /// churn-style re-arrivals.
+  int drain_migrations = 0;
+
+  /// One entry per mid-run topology change, in event order. Empty for
+  /// fixed-topology runs, which keeps their to_text() byte-identical to
+  /// the pinned goldens.
+  struct AutoscaleAction {
+    sim::Nanos time = 0;
+    /// "scale-out" / "scale-in" (watermark autoscaler), "add" / "drain"
+    /// (explicit HostEvent hooks).
+    std::string action;
+    int host = 0;        // host added or drained
+    int live_hosts = 0;  // live hosts after the action
+    /// Fleet resident fraction (resident / capacity over live hosts) that
+    /// the action was evaluated against, before it took effect.
+    double resident_fraction = 0.0;
+  };
+  std::vector<AutoscaleAction> autoscale_timeline;
+
+  /// Live (non-drained) hosts when the run ended.
+  int final_host_count = 0;
+
+  /// Distinct tenants whose final outcome was an admission. Unlike
+  /// `admitted` (which counts admissions, including churn and
+  /// drain-migration re-admissions), this never counts a tenant twice.
+  int tenants_admitted() const {
+    int n = 0;
+    for (const TenantOutcome& t : tenants) {
+      n += t.admitted ? 1 : 0;
+    }
+    return n;
+  }
 
   /// Every boot latency across all platforms and hosts — the cluster-wide
   /// boot CDF. Filled on single-host runs too, but only rendered (and only

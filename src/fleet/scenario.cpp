@@ -100,6 +100,21 @@ Scenario Scenario::cluster_storm(int tenants, int hosts,
   return s;
 }
 
+Scenario Scenario::autoscale_storm(int tenants, int hosts, int max_hosts) {
+  Scenario s = cluster_storm(tenants, hosts, PlacementKind::kLeastPressure);
+  s.name = "autoscale-storm";
+  // Ramp, not storm: arrivals spread wide enough that the autoscaler's
+  // evaluation cadence can add capacity while demand is still arriving.
+  s.arrival = ArrivalPattern::kRamp;
+  s.arrival_window = sim::millis(500);
+  s.autoscale.enabled = true;
+  s.autoscale.max_hosts = max_hosts;
+  // Never shrink below the starting topology: without this floor the very
+  // first evaluation (before load arrives) would scale the idle fleet in.
+  s.autoscale.min_hosts = hosts;
+  return s;
+}
+
 Scenario Scenario::churn_mix(int tenants, int rounds) {
   Scenario s = steady_state_mix(tenants);
   s.name = "churn-mix";

@@ -31,6 +31,47 @@ struct ClusterTopology {
   double nic_gbps = 0.0;
 };
 
+/// Watermark-driven mid-run cluster resizing. The engine emits periodic
+/// evaluation events on the one global deterministic queue; an evaluation
+/// compares the fleet-wide resident fraction (resident bytes over RAM
+/// capacity, live hosts only) against the watermarks and, cooldown
+/// permitting, adds a fresh host (scale-out) or drains the live host with
+/// the fewest active tenants (scale-in). Draining re-places that host's
+/// tenants through placement + admission as churn-style re-arrivals.
+struct AutoscaleSpec {
+  bool enabled = false;
+  /// Scale out when the fleet resident fraction exceeds this.
+  double scale_out_watermark = 0.85;
+  /// Scale in when it drops below this (hysteresis gap keeps it stable).
+  double scale_in_watermark = 0.20;
+  /// Minimum virtual time between two scaling actions. NOTE: typed
+  /// sim::Nanos like every duration here — assign via sim::millis(...),
+  /// not a bare number.
+  sim::Nanos cooldown_ms = sim::millis(20);
+  /// Spacing of evaluation events on the global queue.
+  sim::Nanos eval_interval = sim::millis(10);
+  /// Ceiling on live hosts; 0 disables scale-out. Scale-out needs a host
+  /// provisioner (fleet::Cluster provides one; a bare FleetEngine cannot
+  /// grow).
+  int max_hosts = 0;
+  /// Floor on live hosts for scale-in. Scenarios that should never shrink
+  /// below their starting topology set this to the initial host count
+  /// (Scenario::autoscale_storm does).
+  int min_hosts = 1;
+};
+
+/// A timed operator hook: explicitly add a fresh host or drain one at a
+/// fixed virtual time, independent of the watermark autoscaler. Processed
+/// on the same global deterministic event queue as tenant events.
+struct HostEvent {
+  enum class Kind { kAdd, kDrain };
+  sim::Nanos time = 0;
+  Kind kind = Kind::kAdd;
+  /// Drain target host index; -1 lets the engine pick (fewest active
+  /// tenants, ties to the highest index). Ignored for kAdd.
+  int host = -1;
+};
+
 /// How tenant arrival times are drawn over the scenario's warm-up window.
 enum class ArrivalPattern {
   kStorm,    // all tenants arrive within a short burst window
@@ -93,8 +134,14 @@ struct Scenario {
   // --- Cluster ------------------------------------------------------------
   /// Host count and per-host shape; host_count 1 is the single-host engine.
   ClusterTopology cluster;
-  /// Which host an arriving tenant lands on (cluster runs only).
+  /// Which host an arriving tenant lands on (cluster runs only). The
+  /// policy ranks every live host; admission walks the ranking and spills
+  /// to the next candidate on refusal.
   PlacementKind placement = PlacementKind::kRoundRobin;
+  /// Watermark-driven mid-run host add/drain (cluster runs only).
+  AutoscaleSpec autoscale;
+  /// Explicit timed add/drain hooks, evaluated alongside the autoscaler.
+  std::vector<HostEvent> host_events;
 
   // --- Churn (long-horizon runs) ------------------------------------------
   /// Times each tenant re-enters the fleet after teardown: its resources
@@ -128,6 +175,12 @@ struct Scenario {
   /// Long-horizon churn: the steady-state mix where every tenant tears
   /// down and re-enters the fleet `rounds` more times.
   static Scenario churn_mix(int tenants = 48, int rounds = 2);
+
+  /// Cluster storm with the watermark autoscaler on: starts at `hosts`
+  /// hosts and may grow to `max_hosts`, arrivals ramped so the autoscaler
+  /// can track the pressure. With max_hosts == hosts this is the fixed-
+  /// topology control for the same traffic.
+  static Scenario autoscale_storm(int tenants, int hosts, int max_hosts);
 };
 
 }  // namespace fleet

@@ -13,7 +13,11 @@ already pin behavior.
 When both files carry a "cluster" block for the same (hosts, tenants)
 configuration, each placement policy's wall-clock is gated with the same
 ratio, so regressions isolated to the cluster path (placement, per-shard
-accounting) are caught too, not just the single-host engine.
+accounting) are caught too, not just the single-host engine. Likewise for
+the "autoscale" block (fleet_scale --autoscale): the autoscaled storm's
+wall-clock is gated at the committed (hosts, max_hosts, tenants)
+configuration, and changed event counts / admission totals are reported
+as behavior changes.
 
 Usage:
   check_perf_trajectory.py FRESH.json COMMITTED.json \
@@ -90,6 +94,46 @@ def check_cluster(fresh_doc, committed_doc, max_ratio):
     return failed
 
 
+def check_autoscale(fresh_doc, committed_doc, max_ratio):
+    """Gate the autoscaled storm run; returns True on failure."""
+    base = committed_doc.get("autoscale")
+    fresh = fresh_doc.get("autoscale")
+    if base is None:
+        return False  # nothing committed to gate against
+    if fresh is None:
+        print("  autoscale run     MISSING from fresh results")
+        return True
+    config = (base.get("hosts"), base.get("max_hosts"), base.get("tenants"))
+    fresh_config = (fresh.get("hosts"), fresh.get("max_hosts"),
+                    fresh.get("tenants"))
+    if fresh_config != config:
+        print(f"  autoscale run     config mismatch: committed "
+              f"{config}, fresh {fresh_config} -- skipped, not gated")
+        return False
+    base_run = base.get("run", {})
+    fresh_run = fresh.get("run", {})
+    # Schema drift (renamed key, empty run block) on either side must fail
+    # loudly, not compute a 0.00x ratio that reads as "ok".
+    if fresh_run.get("wall_ms", 0.0) <= 0.0:
+        print("  autoscale run     fresh results carry no wall_ms")
+        return True
+    if base_run.get("wall_ms", 0.0) <= 0.0:
+        print("  autoscale run     committed results carry no wall_ms")
+        return True
+    ratio = fresh_run["wall_ms"] / base_run["wall_ms"]
+    verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+    print(f"autoscale storm at {config[2]} tenants, "
+          f"{config[0]} -> {config[1]} hosts:")
+    print(f"  wall              committed {base_run.get('wall_ms', 0.0):8.1f} ms   "
+          f"fresh {fresh_run.get('wall_ms', 0.0):8.1f} ms   ratio {ratio:4.2f}x   "
+          f"{verdict}")
+    for key in ("events", "tenants_admitted", "final_hosts"):
+        if fresh_run.get(key) != base_run.get(key):
+            print(f"  note: {key} changed {base_run.get(key)} -> "
+                  f"{fresh_run.get(key)} (autoscale behavior change)")
+    return ratio > max_ratio
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh", help="JSON from the CI run")
@@ -130,6 +174,8 @@ def main():
                   f"{base.get('events')} -> {run.get('events')} "
                   f"(behavior change, pinned elsewhere)")
     if check_cluster(fresh_doc, committed_doc, args.max_ratio):
+        failed = True
+    if check_autoscale(fresh_doc, committed_doc, args.max_ratio):
         failed = True
     return 1 if failed else 0
 
