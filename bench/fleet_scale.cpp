@@ -14,12 +14,20 @@
 // trajectory including the pre-optimization baseline. CI's perf gate
 // (tools/check_perf_trajectory.py) diffs a fresh run against that copy.
 //
-// Usage: fleet_scale [--tenants N[,N...]] [--hosts M] [--out PATH] [--no-json]
+// Additional cluster sweeps at explicit shapes (e.g. the 100k-tenant /
+// 64-host storm the PR 5 engine unlocked) ride along via
+// --clusters TENANTSxHOSTS[,...]; each emits its own block in the JSON
+// "clusters" list and runs under the same run-twice byte-identity check.
+//
+// Usage: fleet_scale [--tenants N[,N...]] [--hosts M]
+//                    [--clusters NxM[,NxM...]] [--autoscale] [--out PATH]
+//                    [--no-json]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -69,6 +77,7 @@ struct ClusterScaleResult {
   int tenants = 0;
   double wall_ms = 0.0;
   std::uint64_t events = 0;
+  double events_per_sec = 0.0;
   int admitted = 0;
   int completed = 0;
   int spills = 0;
@@ -77,6 +86,13 @@ struct ClusterScaleResult {
   double boot_p50_ms = 0.0;
   double boot_p99_ms = 0.0;
   double makespan_ms = 0.0;
+};
+
+/// One cluster sweep configuration and its per-policy results.
+struct ClusterBlock {
+  int tenants = 0;
+  int hosts = 0;
+  std::vector<ClusterScaleResult> runs;
 };
 
 /// The autoscaled storm vs its fixed-topology control at the same size.
@@ -138,6 +154,10 @@ bool run_cluster_sweep(int tenants, int hosts,
     r.tenants = tenants;
     r.wall_ms = std::min(wall_a, wall_b);
     r.events = a.events_processed;
+    r.events_per_sec =
+        r.wall_ms > 0.0
+            ? static_cast<double>(r.events) / (r.wall_ms / 1e3)
+            : 0.0;
     r.admitted = a.admitted;
     r.completed = a.completed;
     r.spills = a.spills;
@@ -261,6 +281,41 @@ bool run_autoscale(int tenants, int hosts, AutoscaleResult* out) {
   return true;
 }
 
+/// Parse a --clusters list: "TENANTSxHOSTS[,TENANTSxHOSTS...]".
+bool parse_cluster_configs(const char* arg, std::vector<ClusterBlock>* out) {
+  std::string token;
+  const auto flush = [&]() {
+    if (token.empty()) {
+      return true;
+    }
+    const auto x = token.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 >= token.size()) {
+      return false;
+    }
+    ClusterBlock block;
+    block.tenants = std::atoi(token.substr(0, x).c_str());
+    block.hosts = std::atoi(token.substr(x + 1).c_str());
+    token.clear();
+    if (block.tenants <= 0 || block.hosts <= 0) {
+      return false;
+    }
+    out->push_back(block);
+    return true;
+  };
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!flush()) {
+        return false;
+      }
+      if (*p == '\0') {
+        return true;
+      }
+    } else {
+      token += *p;
+    }
+  }
+}
+
 std::vector<int> parse_sizes(const char* arg) {
   std::vector<int> sizes;
   std::string token;
@@ -280,19 +335,40 @@ std::vector<int> parse_sizes(const char* arg) {
   return sizes;
 }
 
-/// Pre-optimization wall-clock for the same scenarios and sizes, measured
-/// at PR 1 (commit 1055723) on the clear-and-rebuild-KSM engine. A fixed
-/// historical record: emitting it from here keeps the checked-in
-/// BENCH_fleet_scale.json fully regenerable by just running this bench.
+/// Pre-optimization wall-clock and throughput for the same scenarios and
+/// sizes, measured at PR 4 (commit d1d449a) on the engine with per-page
+/// page-cache walks, mutate-and-rollback KSM admission trials and full
+/// per-arrival placement sorts. A fixed historical record: emitting it
+/// from here keeps the checked-in BENCH_fleet_scale.json fully
+/// regenerable by just running this bench.
 struct BaselineEntry {
   const char* scenario;
   int tenants;
   double wall_ms;
+  double events_per_sec;
 };
 constexpr BaselineEntry kPrePrBaseline[] = {
-    {"coldstart-storm", 1000, 709.0},   {"density-sweep", 1000, 2109.8},
-    {"coldstart-storm", 4000, 9260.8},  {"density-sweep", 4000, 2001.0},
-    {"coldstart-storm", 10000, 33955.4}, {"density-sweep", 10000, 1995.7},
+    {"coldstart-storm", 1000, 394.1, 10150.0},
+    {"density-sweep", 1000, 144.8, 12344.0},
+    {"coldstart-storm", 4000, 998.8, 11163.0},
+    {"density-sweep", 4000, 158.3, 30248.0},
+    {"coldstart-storm", 10000, 889.0, 19151.0},
+    {"density-sweep", 10000, 172.7, 62450.0},
+};
+
+/// The committed PR 4 cluster sweep at 10k tenants / 4 hosts — the
+/// denominator of the tentpole's >=10x events/sec target.
+struct ClusterBaselineEntry {
+  const char* policy;
+  double wall_ms;
+  double events_per_sec;
+};
+constexpr int kClusterBaselineHosts = 4;
+constexpr int kClusterBaselineTenants = 10000;
+constexpr ClusterBaselineEntry kPrePrClusterBaseline[] = {
+    {"round-robin", 3203.3, 9642.0},   {"least-loaded", 3209.4, 9627.0},
+    {"ksm-affinity", 2252.3, 13717.0}, {"least-pressure", 3030.6, 10195.0},
+    {"pack-then-spill", 2511.7, 12297.0},
 };
 
 const BaselineEntry* baseline_for(const ScaleResult& r) {
@@ -304,8 +380,22 @@ const BaselineEntry* baseline_for(const ScaleResult& r) {
   return nullptr;
 }
 
+const ClusterBaselineEntry* cluster_baseline_for(const ClusterBlock& block,
+                                                 const std::string& policy) {
+  if (block.hosts != kClusterBaselineHosts ||
+      block.tenants != kClusterBaselineTenants) {
+    return nullptr;
+  }
+  for (const ClusterBaselineEntry& b : kPrePrClusterBaseline) {
+    if (policy == b.policy) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
 void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
-                const std::vector<ClusterScaleResult>& cluster_runs,
+                const std::vector<ClusterBlock>& clusters,
                 const RetryDifferentialResult* retry,
                 const AutoscaleResult* autoscale) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -315,7 +405,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
-  std::fprintf(f, "  \"schema_version\": 3,\n");
+  std::fprintf(f, "  \"schema_version\": 4,\n");
   std::fprintf(f, "  \"unit\": {\"wall_ms\": \"milliseconds\", "
                   "\"events_per_sec\": \"simulator events per second\"},\n");
   std::fprintf(f, "  \"runs\": [\n");
@@ -332,11 +422,12 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"baseline_pre_pr\": {\n");
-  std::fprintf(f, "    \"commit\": \"1055723\",\n");
+  std::fprintf(f, "    \"commit\": \"d1d449a\",\n");
   std::fprintf(f, "    \"note\": \"same scenarios and sizes on the "
-                  "pre-optimization engine (clear-and-rebuild KSM scan, "
-                  "std::list page cache, hashed tenant table, unbatched "
-                  "event heap)\",\n");
+                  "pre-PR-5 engine (per-page page-cache walks, "
+                  "mutate-and-rollback KSM admission trials, full "
+                  "per-arrival placement sorts, per-boot timeline "
+                  "construction)\",\n");
   std::fprintf(f, "    \"runs\": [\n");
   bool first = true;
   for (const ScaleResult& r : runs) {
@@ -346,11 +437,24 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     }
     std::fprintf(f,
                  "%s      {\"scenario\": \"%s\", \"tenants\": %d, "
-                 "\"wall_ms\": %.1f}",
-                 first ? "" : ",\n", b->scenario, b->tenants, b->wall_ms);
+                 "\"wall_ms\": %.1f, \"events_per_sec\": %.0f}",
+                 first ? "" : ",\n", b->scenario, b->tenants, b->wall_ms,
+                 b->events_per_sec);
     first = false;
   }
-  std::fprintf(f, "\n    ]\n  },\n");
+  std::fprintf(f, "\n    ],\n");
+  std::fprintf(f, "    \"cluster\": {\"hosts\": %d, \"tenants\": %d, "
+                  "\"runs\": [\n",
+               kClusterBaselineHosts, kClusterBaselineTenants);
+  for (std::size_t i = 0; i < std::size(kPrePrClusterBaseline); ++i) {
+    const ClusterBaselineEntry& b = kPrePrClusterBaseline[i];
+    std::fprintf(f,
+                 "      {\"policy\": \"%s\", \"wall_ms\": %.1f, "
+                 "\"events_per_sec\": %.0f}%s\n",
+                 b.policy, b.wall_ms, b.events_per_sec,
+                 i + 1 < std::size(kPrePrClusterBaseline) ? "," : "");
+  }
+  std::fprintf(f, "    ]}\n  },\n");
   std::fprintf(f, "  \"speedup_vs_pre_pr\": {");
   first = true;
   for (const ScaleResult& r : runs) {
@@ -362,35 +466,55 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  r.scenario.c_str(), r.tenants, b->wall_ms / r.wall_ms);
     first = false;
   }
-  const bool more =
-      !cluster_runs.empty() || autoscale != nullptr || retry != nullptr;
-  std::fprintf(f, "}%s\n", more ? "," : "");
-  if (!cluster_runs.empty()) {
-    std::fprintf(f, "  \"cluster\": {\n");
-    std::fprintf(f, "    \"scenario\": \"cluster-storm\",\n");
-    std::fprintf(f, "    \"hosts\": %d,\n", cluster_runs.front().hosts);
-    std::fprintf(f, "    \"tenants\": %d,\n", cluster_runs.front().tenants);
-    std::fprintf(f, "    \"determinism\": \"each policy run twice against "
-                    "fresh clusters, reports byte-identical\",\n");
-    std::fprintf(f, "    \"runs\": [\n");
-    for (std::size_t i = 0; i < cluster_runs.size(); ++i) {
-      const ClusterScaleResult& r = cluster_runs[i];
-      std::fprintf(f,
-                   "      {\"policy\": \"%s\", \"wall_ms\": %.1f, "
-                   "\"events\": %llu, \"admitted\": %d, \"completed\": %d, "
-                   "\"spills\": %d, "
-                   "\"ksm_shared_pages\": %llu, \"ksm_backing_pages\": %llu, "
-                   "\"boot_p50_ms\": %.2f, "
-                   "\"boot_p99_ms\": %.2f, \"makespan_ms\": %.2f}%s\n",
-                   r.policy.c_str(), r.wall_ms,
-                   static_cast<unsigned long long>(r.events), r.admitted,
-                   r.completed, r.spills,
-                   static_cast<unsigned long long>(r.ksm_shared_pages),
-                   static_cast<unsigned long long>(r.ksm_backing_pages),
-                   r.boot_p50_ms, r.boot_p99_ms, r.makespan_ms,
-                   i + 1 < cluster_runs.size() ? "," : "");
+  for (const ClusterBlock& block : clusters) {
+    for (const ClusterScaleResult& r : block.runs) {
+      const ClusterBaselineEntry* b = cluster_baseline_for(block, r.policy);
+      if (b == nullptr || r.wall_ms <= 0.0) {
+        continue;
+      }
+      std::fprintf(f, "%s\"cluster-%s@%dx%d\": %.1f", first ? "" : ", ",
+                   r.policy.c_str(), block.tenants, block.hosts,
+                   b->wall_ms / r.wall_ms);
+      first = false;
     }
-    std::fprintf(f, "    ]\n  }%s\n",
+  }
+  const bool more =
+      !clusters.empty() || autoscale != nullptr || retry != nullptr;
+  std::fprintf(f, "}%s\n", more ? "," : "");
+  if (!clusters.empty()) {
+    std::fprintf(f, "  \"clusters\": [\n");
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      const ClusterBlock& block = clusters[c];
+      std::fprintf(f, "    {\n");
+      std::fprintf(f, "      \"scenario\": \"cluster-storm\",\n");
+      std::fprintf(f, "      \"hosts\": %d,\n", block.hosts);
+      std::fprintf(f, "      \"tenants\": %d,\n", block.tenants);
+      std::fprintf(f, "      \"determinism\": \"each policy run twice "
+                      "against fresh clusters, reports byte-identical\",\n");
+      std::fprintf(f, "      \"runs\": [\n");
+      for (std::size_t i = 0; i < block.runs.size(); ++i) {
+        const ClusterScaleResult& r = block.runs[i];
+        std::fprintf(
+            f,
+            "        {\"policy\": \"%s\", \"wall_ms\": %.1f, "
+            "\"events\": %llu, \"events_per_sec\": %.0f, "
+            "\"admitted\": %d, \"completed\": %d, "
+            "\"spills\": %d, "
+            "\"ksm_shared_pages\": %llu, \"ksm_backing_pages\": %llu, "
+            "\"boot_p50_ms\": %.2f, "
+            "\"boot_p99_ms\": %.2f, \"makespan_ms\": %.2f}%s\n",
+            r.policy.c_str(), r.wall_ms,
+            static_cast<unsigned long long>(r.events), r.events_per_sec,
+            r.admitted, r.completed, r.spills,
+            static_cast<unsigned long long>(r.ksm_shared_pages),
+            static_cast<unsigned long long>(r.ksm_backing_pages),
+            r.boot_p50_ms, r.boot_p99_ms, r.makespan_ms,
+            i + 1 < block.runs.size() ? "," : "");
+      }
+      std::fprintf(f, "      ]\n    }%s\n",
+                   c + 1 < clusters.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]%s\n",
                  retry != nullptr || autoscale != nullptr ? "," : "");
   }
   if (retry != nullptr) {
@@ -450,11 +574,19 @@ int main(int argc, char** argv) {
   bool json = true;
   bool autoscale = false;
   int hosts = 1;
+  std::vector<ClusterBlock> extra_clusters;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
       sizes = parse_sizes(argv[++i]);
     } else if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
       hosts = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
+      if (!parse_cluster_configs(argv[++i], &extra_clusters)) {
+        std::fprintf(stderr,
+                     "fleet_scale: --clusters wants TENANTSxHOSTS[,...] "
+                     "with positive integers\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--autoscale") == 0) {
       autoscale = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -464,7 +596,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: fleet_scale [--tenants N[,N...]] [--hosts M] "
-                   "[--autoscale] [--out PATH] [--no-json]\n");
+                   "[--clusters NxM[,NxM...]] [--autoscale] [--out PATH] "
+                   "[--no-json]\n");
       return 2;
     }
   }
@@ -513,22 +646,31 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.to_text().c_str());
 
-  std::vector<ClusterScaleResult> cluster_runs;
+  std::vector<ClusterBlock> clusters;
   if (hosts > 1) {
-    const int cluster_tenants = *std::max_element(sizes.begin(), sizes.end());
+    ClusterBlock primary;
+    primary.tenants = *std::max_element(sizes.begin(), sizes.end());
+    primary.hosts = hosts;
+    clusters.push_back(primary);
+  }
+  for (const ClusterBlock& block : extra_clusters) {
+    clusters.push_back(block);
+  }
+  for (ClusterBlock& block : clusters) {
     std::printf("cluster-storm: %d tenants sharded across %d hosts, every "
                 "placement policy run twice\n\n",
-                cluster_tenants, hosts);
-    if (!run_cluster_sweep(cluster_tenants, hosts, &cluster_runs)) {
+                block.tenants, block.hosts);
+    if (!run_cluster_sweep(block.tenants, block.hosts, &block.runs)) {
       return 1;
     }
-    stats::Table cluster_table({"policy", "wall (ms)", "admitted", "completed",
-                                "spills", "ksm shared", "ksm backing",
-                                "boot p50 (ms)", "boot p99 (ms)",
-                                "makespan (ms)"});
-    for (const ClusterScaleResult& r : cluster_runs) {
+    stats::Table cluster_table({"policy", "wall (ms)", "events/sec",
+                                "admitted", "completed", "spills",
+                                "ksm shared", "ksm backing", "boot p50 (ms)",
+                                "boot p99 (ms)", "makespan (ms)"});
+    for (const ClusterScaleResult& r : block.runs) {
       cluster_table.add_row(
-          {r.policy, stats::Table::num(r.wall_ms), std::to_string(r.admitted),
+          {r.policy, stats::Table::num(r.wall_ms),
+           stats::Table::num(r.events_per_sec, 0), std::to_string(r.admitted),
            std::to_string(r.completed), std::to_string(r.spills),
            std::to_string(r.ksm_shared_pages),
            std::to_string(r.ksm_backing_pages),
@@ -537,8 +679,8 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", cluster_table.to_text().c_str());
     std::printf("determinism: %zu policies x 2 fresh runs each, reports "
-                "byte-identical\n",
-                cluster_runs.size());
+                "byte-identical\n\n",
+                block.runs.size());
   }
 
   RetryDifferentialResult retry_result;
@@ -577,7 +719,7 @@ int main(int argc, char** argv) {
   }
 
   if (json) {
-    write_json(out, runs, cluster_runs, hosts > 1 ? &retry_result : nullptr,
+    write_json(out, runs, clusters, hosts > 1 ? &retry_result : nullptr,
                autoscale ? &autoscale_result : nullptr);
   }
   return 0;

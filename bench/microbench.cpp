@@ -7,8 +7,10 @@
 #include "apps/btree.h"
 #include "apps/kv_store.h"
 #include "apps/ycsb.h"
+#include "fleet/placement.h"
 #include "hostk/host_kernel.h"
 #include "hostk/page_cache.h"
+#include "mem/ksm.h"
 #include "sim/rng.h"
 #include "stats/sample_set.h"
 #include "stats/summary.h"
@@ -107,6 +109,108 @@ void BM_BtreeFind(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BtreeFind)->Arg(10'000)->Arg(100'000);
+
+/// A KSM stable tree resembling a fleet host: `tenants` hypervisor guests
+/// of three digest runs each (shared zero pages, per-image pages, private
+/// pages) — the structure FleetEngine::admit probes on every trial.
+mem::Ksm fleet_like_tree(int tenants) {
+  mem::Ksm ksm;
+  for (int t = 0; t < tenants; ++t) {
+    const auto id = static_cast<std::uint64_t>(t);
+    ksm.advise_runs(id, {{0x2E80'0000'0000'0000ull, 89},
+                         {0xBA5E'0000'0000'0000ull, 32},
+                         {0x7E4A'0000'0000'0000ull + (id << 24), 135}});
+  }
+  ksm.scan();
+  return ksm;
+}
+
+std::vector<mem::PageRun> candidate_runs(std::uint64_t id) {
+  return {{0x2E80'0000'0000'0000ull, 89},
+          {0xBA5E'0000'0000'0000ull, 32},
+          {0x7E4A'0000'0000'0000ull + (id << 24), 135}};
+}
+
+/// Read-only admission trial (the PR 5 hot path): one const overlap query.
+void BM_KsmProbeRuns(benchmark::State& state) {
+  mem::Ksm ksm = fleet_like_tree(static_cast<int>(state.range(0)));
+  const auto runs = candidate_runs(1'000'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ksm.probe_runs(runs));
+  }
+}
+BENCHMARK(BM_KsmProbeRuns)->Arg(100)->Arg(2'000);
+
+/// The pre-probe admission trial: mutate the tree, scan, roll back, scan —
+/// what every refusing candidate host used to pay per arrival.
+void BM_KsmAdviseScanRemove(benchmark::State& state) {
+  mem::Ksm ksm = fleet_like_tree(static_cast<int>(state.range(0)));
+  const auto runs = candidate_runs(1'000'000);
+  for (auto _ : state) {
+    ksm.advise_runs(1'000'000, runs);
+    ksm.scan();
+    ksm.remove(1'000'000);
+    benchmark::DoNotOptimize(ksm.scan());
+  }
+}
+BENCHMARK(BM_KsmAdviseScanRemove)->Arg(100)->Arg(2'000);
+
+std::vector<fleet::HostView> bench_host_views(int hosts, sim::Rng& rng) {
+  std::vector<fleet::HostView> views;
+  views.reserve(static_cast<std::size_t>(hosts));
+  for (int i = 0; i < hosts; ++i) {
+    fleet::HostView v;
+    v.index = i;
+    v.ram_cap_bytes = 256ull << 30;
+    v.resident_bytes = rng.next_u64() % v.ram_cap_bytes;
+    v.active_tenants = static_cast<int>(rng.next_u64() % 2000);
+    v.same_platform_tenants = static_cast<int>(rng.next_u64() % 500);
+    v.pressure.cpu_demand = static_cast<double>(rng.next_u64() % 256);
+    v.pressure.cpu_threads = 128;
+    v.pressure.net_active = static_cast<int>(rng.next_u64() % 64);
+    views.push_back(v);
+  }
+  return views;
+}
+
+/// Sort-based ranking: the full O(M log M) snapshot sort per arrival.
+void BM_RankHostsSort(benchmark::State& state) {
+  sim::Rng rng(21);
+  const auto policy = fleet::make_placement(fleet::PlacementKind::kLeastLoaded);
+  const auto views = bench_host_views(static_cast<int>(state.range(0)), rng);
+  fleet::PlacementRequest req;
+  std::vector<int> ranked;
+  for (auto _ : state) {
+    ranked.clear();
+    policy->rank_hosts(req, views, ranked);
+    benchmark::DoNotOptimize(ranked.data());
+  }
+}
+BENCHMARK(BM_RankHostsSort)->Arg(4)->Arg(64)->Arg(1024);
+
+/// Heap-backed walk, first candidate only — the admission walk's common
+/// case (most arrivals admit on their first try), O(log M) per pop.
+void BM_RankHostsHeapWalk(benchmark::State& state) {
+  sim::Rng rng(21);
+  const auto policy = fleet::make_placement(fleet::PlacementKind::kLeastLoaded);
+  const auto views = bench_host_views(static_cast<int>(state.range(0)), rng);
+  policy->reset();
+  for (const auto& v : views) {
+    fleet::HostState s;
+    s.index = v.index;
+    s.ram_cap_bytes = v.ram_cap_bytes;
+    s.resident_bytes = v.resident_bytes;
+    s.active_tenants = v.active_tenants;
+    s.pressure = v.pressure;
+    policy->host_updated(s);
+  }
+  fleet::PlacementRequest req;
+  for (auto _ : state) {
+    policy->walk_begin(req);
+    benchmark::DoNotOptimize(policy->walk_next());
+  }
+}
+BENCHMARK(BM_RankHostsHeapWalk)->Arg(4)->Arg(64)->Arg(1024);
 
 void BM_KvStoreGet(benchmark::State& state) {
   apps::KvStore store(64ull << 20);

@@ -72,7 +72,15 @@ core::BootTimeline ContainerRuntime::boot_timeline() const {
   return t;
 }
 
-core::BootResult ContainerRuntime::boot(sim::Clock& clock, sim::Rng& rng) {
+const core::BootTimeline& ContainerRuntime::cached_timeline() const {
+  if (!timeline_cached_) {
+    timeline_cache_ = boot_timeline();
+    timeline_cached_ = true;
+  }
+  return timeline_cache_;
+}
+
+void ContainerRuntime::record_setup_syscalls(sim::Rng& rng) {
   // HAP-visible setup path.
   host_->invoke(Syscall::kClone3, rng, 1);
   spec_.namespaces.record_setup(*host_, rng);
@@ -92,10 +100,18 @@ core::BootResult ContainerRuntime::boot(sim::Clock& clock, sim::Rng& rng) {
     host_->invoke(Syscall::kSendmsg, rng, 4);
     host_->invoke(Syscall::kRecvmsg, rng, 4);
   }
+}
 
+core::BootResult ContainerRuntime::boot(sim::Clock& clock, sim::Rng& rng) {
+  record_setup_syscalls(rng);
   const core::BootResult result = boot_timeline().run(rng);
   clock.advance(result.total);
   return result;
+}
+
+void ContainerRuntime::record_boot(sim::Clock& clock, sim::Rng& rng) {
+  record_setup_syscalls(rng);
+  clock.advance(cached_timeline().sample_total(rng));
 }
 
 sim::Nanos ContainerRuntime::exec_process(sim::Clock& clock, sim::Rng& rng) {

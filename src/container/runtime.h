@@ -54,15 +54,25 @@ class ContainerRuntime {
   /// Boot once: advances the clock, issues HAP-visible setup syscalls.
   core::BootResult boot(sim::Clock& clock, sim::Rng& rng);
 
+  /// boot() without the per-stage BootResult: identical syscall trace and
+  /// RNG draws, but the composed timeline is cached (the spec is immutable
+  /// after construction) and only the total is sampled — the fleet
+  /// engine's per-boot fast path.
+  void record_boot(sim::Clock& clock, sim::Rng& rng);
+
   /// `docker exec`-style process injection (no new sandbox).
   sim::Nanos exec_process(sim::Clock& clock, sim::Rng& rng);
 
  private:
   core::BootTimeline daemon_timeline() const;
   core::BootTimeline storage_timeline() const;
+  void record_setup_syscalls(sim::Rng& rng);
+  const core::BootTimeline& cached_timeline() const;
 
   RuntimeSpec spec_;
   hostk::HostKernel* host_;
+  mutable core::BootTimeline timeline_cache_;
+  mutable bool timeline_cached_ = false;
 };
 
 /// Runtime catalog for the container platforms of Figure 13.

@@ -25,6 +25,14 @@ BootResult BootTimeline::run(sim::Rng& rng) const {
   return result;
 }
 
+sim::Nanos BootTimeline::sample_total(sim::Rng& rng) const {
+  sim::Nanos total = 0;
+  for (const auto& s : stages_) {
+    total += s.duration.sample(rng);
+  }
+  return total;
+}
+
 sim::Nanos BootTimeline::mean_total() const {
   sim::Nanos total = 0;
   for (const auto& s : stages_) {

@@ -45,6 +45,11 @@ class BootTimeline {
   /// Sample the whole sequence once.
   BootResult run(sim::Rng& rng) const;
 
+  /// Sample the whole sequence once but return only the end-to-end total:
+  /// identical RNG draws to run() without materializing per-stage samples
+  /// (no string copies) — the fleet engine's per-boot fast path.
+  sim::Nanos sample_total(sim::Rng& rng) const;
+
   /// Sum of stage means (analytic expectation of the total).
   sim::Nanos mean_total() const;
 

@@ -71,10 +71,11 @@ std::uint64_t image_file_id(PlatformId id) {
 /// merges across tenants of the same platform, and a tenant-private run.
 /// Three PageRuns describe the whole guest — no per-page vector ever
 /// materializes, and the KSM stable tree ingests each run as one interval.
-std::vector<mem::PageRun> guest_page_runs(std::uint64_t tenant,
-                                          PlatformId platform,
-                                          std::uint64_t guest_ram_bytes,
-                                          std::uint64_t image_bytes) {
+/// Fills `out` (recycled across admission trials; the retry walk probes
+/// the same runs against every candidate host).
+void guest_page_runs(std::vector<mem::PageRun>& out, std::uint64_t tenant,
+                     PlatformId platform, std::uint64_t guest_ram_bytes,
+                     std::uint64_t image_bytes) {
   const std::uint64_t total = std::max<std::uint64_t>(
       1, guest_ram_bytes / kFleetPageBytes);
   const auto zero_units = static_cast<std::uint64_t>(
@@ -82,13 +83,14 @@ std::vector<mem::PageRun> guest_page_runs(std::uint64_t tenant,
   const std::uint64_t image_units =
       std::min(total - zero_units, image_bytes / kFleetPageBytes);
   const std::uint64_t private_units = total - zero_units - image_units;
-  return {
-      {0x2E80'0000'0000'0000ull, zero_units},  // zero pages: global
+  out.clear();
+  out.push_back({0x2E80'0000'0000'0000ull, zero_units});  // zero pages: global
+  out.push_back(
       {0xBA5E'0000'0000'0000ull + (static_cast<std::uint64_t>(platform) << 32),
-       image_units},
+       image_units});
+  out.push_back(
       {0x7E4A'0000'0000'0000ull + (tenant << 24) + zero_units + image_units,
-       private_units},
-  };
+       private_units});
 }
 
 }  // namespace
@@ -189,22 +191,27 @@ void FleetEngine::note_peaks(Shard& sh) {
 bool FleetEngine::admit(Shard& sh, Tenant& t, const Scenario& s) {
   const std::uint64_t overhead = platform_overhead_bytes(t.platform_id);
   if (is_hypervisor_backed(t.platform_id) && s.enable_ksm) {
-    // Fast-fail before the KSM merge pass: advising only ever adds backing
-    // pages, so a host that cannot even fit the overhead on top of its
-    // current resident set cannot pass the post-advise check either. Keeps
-    // the retry walk from paying advise+scan on every hopeless candidate.
+    // Fast-fail before the probe: advising only ever adds backing pages,
+    // so a host that cannot even fit the overhead on top of its current
+    // resident set cannot pass the probe check either.
     if (sh.resident_bytes() + overhead > sh.ram_cap) {
       return false;
     }
-    sh.ksm.advise_runs(t.id, guest_page_runs(t.id, t.platform_id,
-                                             s.guest_ram_bytes, s.image_bytes));
+    // Read-only admission trial: probe the exact backing-page delta the
+    // guest's digest runs would cause. Only the host that admits pays the
+    // advise+scan tree mutation — a refusing candidate's stable tree is
+    // never touched (the old path paid a full advise+scan / remove+scan
+    // rollback cycle per refusal).
+    guest_page_runs(run_scratch_, t.id, t.platform_id, s.guest_ram_bytes,
+                    s.image_bytes);
+    const mem::Ksm::ProbeDelta delta = sh.ksm.probe_runs(run_scratch_);
+    if (sh.resident_bytes() + delta.backing_delta * kFleetPageBytes +
+            overhead > sh.ram_cap) {
+      return false;
+    }
+    sh.ksm.advise_runs(t.id, run_scratch_);
     sh.ksm.scan();
     t.resident_bytes = overhead;
-    if (sh.resident_bytes() + overhead > sh.ram_cap) {
-      sh.ksm.remove(t.id);
-      sh.ksm.scan();
-      return false;
-    }
     t.ksm_registered = true;
   } else {
     // Hypervisor guests without KSM reserve full guest RAM; namespace-
@@ -276,18 +283,54 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
   // Retry-on-reject: walk the policy's ranked candidates and admit on the
   // first host whose RAM accepts the tenant. Only a full walk with every
   // live host refusing is an OOM — attributed to the *last* host tried —
-  // and only then may the density-stop latch trip.
-  rank_candidates(t, s);
-  const int first_choice = ranked_.front();
+  // and only then may the density-stop latch trip. Incremental policies
+  // are walked lazily (one heap pop per candidate actually tried); legacy
+  // policies get the snapshot-and-sort path.
+  int first_choice = -1;
   int admitted_host = -1;
-  int last_tried = first_choice;
-  for (const int host : ranked_) {
+  int last_tried = -1;
+  const auto try_host = [&](int host) {
     Shard& candidate = shards_[static_cast<std::size_t>(host)];
+    if (first_choice < 0) {
+      first_choice = host;
+    }
     last_tried = host;
     t.platform = candidate.platforms.at(t.platform_id).get();
     if (admit(candidate, t, s)) {
       admitted_host = host;
-      break;
+    }
+  };
+  if (shards_.size() == 1) {
+    try_host(0);
+  } else if (incremental_placement_) {
+    PlacementRequest req;
+    req.tenant_id = t.id;
+    req.platform_id = t.platform_id;
+    req.hypervisor_backed = is_hypervisor_backed(t.platform_id);
+    req.guest_ram_bytes = s.guest_ram_bytes;
+    policy_->walk_begin(req);
+    for (int host = policy_->walk_next(); host >= 0;
+         host = policy_->walk_next()) {
+      if (host >= static_cast<int>(shards_.size()) ||
+          !shards_[static_cast<std::size_t>(host)].live) {
+        throw std::out_of_range(
+            "PlacementPolicy::walk_next returned an invalid host index");
+      }
+      try_host(host);
+      if (admitted_host >= 0) {
+        break;
+      }
+    }
+    if (first_choice < 0) {
+      throw std::logic_error("PlacementPolicy::walk_next emitted no hosts");
+    }
+  } else {
+    rank_candidates(t, s);
+    for (const int host : ranked_) {
+      try_host(host);
+      if (admitted_host >= 0) {
+        break;
+      }
     }
   }
   if (admitted_host < 0) {
@@ -314,6 +357,7 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
   ++active_;
   ++sh.active;
   ++sh.tenants_by_platform[t.platform_id];
+  notify_platform_count(sh, t.platform_id);
   sh.cpu_demand += kBootVcpus;
   t.in_flight = Tenant::InFlight::kBoot;
   t.holds_resources = true;
@@ -323,7 +367,7 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
   // image through the shard's host page cache, both stretched by CPU
   // contention across that host's fleet share.
   const sim::Nanos arrival = t.clock.now();
-  t.platform->boot(t.clock, t.rng);
+  t.platform->boot_total(t.clock, t.rng);
   const sim::Nanos boot_ns = t.clock.now() - arrival;
 
   auto& cache = sh.host->page_cache();
@@ -348,12 +392,18 @@ void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
   Shard& sh = shards_[static_cast<std::size_t>(t.host)];
   sh.cpu_demand -= kBootVcpus;
   t.in_flight = Tenant::InFlight::kNone;
-  // One string-keyed lookup per tenant, here; phases reuse the cached
-  // pointer. Creating the entry lazily (not at tenant setup) keeps
-  // platforms whose tenants never booted out of the report table.
-  auto& stats = report_.by_platform[t.platform->name()];
+  // One string-keyed lookup per *platform id* per run, here; boots reuse
+  // the id-indexed slot and phases the per-tenant pointer. Creating the
+  // entry lazily (not at tenant setup) keeps platforms whose tenants never
+  // booted out of the report table.
+  PlatformFleetStats*& slot =
+      stats_by_id_[static_cast<std::size_t>(t.platform_id)];
+  if (slot == nullptr) {
+    slot = &report_.by_platform[t.platform->name()];
+    slot->platform = t.platform->name();
+  }
+  auto& stats = *slot;
   t.stats = &stats;
-  stats.platform = t.platform->name();
   if (!t.counted_in_stats) {
     // Distinct tenants, not boots: churn re-arrivals add boot/phase
     // samples but must not inflate the fleet-composition column.
@@ -434,7 +484,31 @@ void FleetEngine::release_tenant(Shard& sh, Tenant& t) {
   --active_;
   --sh.active;
   --sh.tenants_by_platform[t.platform_id];
+  notify_platform_count(sh, t.platform_id);
   t.holds_resources = false;
+}
+
+void FleetEngine::publish_host(Shard& sh) {
+  if (!incremental_placement_ || !sh.live) {
+    return;
+  }
+  HostState state;
+  state.index = sh.rollup.host;
+  state.ram_cap_bytes = sh.ram_cap;
+  state.resident_bytes = sh.resident_bytes();
+  state.active_tenants = sh.active;
+  state.pressure.cpu_demand = sh.cpu_demand;
+  state.pressure.cpu_threads = sh.host->spec().cpu_threads;
+  state.pressure.net_active = sh.net_active;
+  policy_->host_updated(state);
+}
+
+void FleetEngine::notify_platform_count(Shard& sh, platforms::PlatformId id) {
+  if (!incremental_placement_ || !sh.live) {
+    return;
+  }
+  policy_->platform_count_changed(sh.rollup.host, id,
+                                  sh.tenants_by_platform[id]);
 }
 
 void FleetEngine::handle_teardown(Tenant& t, const Scenario& s) {
@@ -527,6 +601,7 @@ int FleetEngine::add_shard(const Scenario& s) {
   sh.cache_hits0 = sh.host->page_cache().hits();
   sh.cache_misses0 = sh.host->page_cache().misses();
   sh.nvme_read0 = sh.host->nvme().bytes_read();
+  publish_host(sh);
   return index;
 }
 
@@ -534,6 +609,9 @@ void FleetEngine::drain_shard(int index, const Scenario& s, sim::Nanos now) {
   Shard& sh = shards_[static_cast<std::size_t>(index)];
   sh.live = false;
   sh.rollup.drained = true;
+  if (incremental_placement_) {
+    policy_->host_removed(index);
+  }
   // Re-place every tenant this host still held, as churn-style
   // re-arrivals: resources released here and now, a fresh arrival event
   // queued at the drain instant, placement + admission deciding again.
@@ -712,17 +790,25 @@ FleetReport FleetEngine::run(const Scenario& s) {
       (shards_.size() > 1 || s.autoscale.enabled || !s.host_events.empty())) {
     report_.placement = policy_->name();
   }
+  report_.boot_slo_ms = s.boot_slo_ms;
   tenants_.clear();
   global_clock_.reset();
   active_ = 0;
   last_scale_ = 0;
   has_scaled_ = false;
+  latched_tail_ = false;
+  latched_tail_time_ = 0;
+  stats_by_id_.fill(nullptr);
   if (policy_ != nullptr) {
     policy_->reset();
   }
+  incremental_placement_ = policy_ != nullptr && policy_->incremental();
 
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     init_shard(shards_[i], static_cast<int>(i), s);
+  }
+  for (Shard& sh : shards_) {
+    publish_host(sh);
   }
 
   sim::Rng rng(s.seed);
@@ -804,8 +890,18 @@ FleetReport FleetEngine::run(const Scenario& s) {
     t.outcome.id = t.id;
     t.outcome.platform = t.platform->name();
     t.outcome.arrival = arrivals[static_cast<std::size_t>(i)];
-    queue_.push(arrivals[static_cast<std::size_t>(i)], static_cast<std::uint64_t>(i),
-                EventKind::kArrival);
+  }
+  // Arrivals are seeded lazily — only the next initial arrival sits in the
+  // queue — so a tripped density-stop latch can reject the unseeded tail
+  // in bulk instead of paying one event per post-latch tenant. Reserving
+  // the whole seq block up front keeps every event's (time, seq) key, and
+  // therefore all tie-breaking, identical to an eagerly seeded queue.
+  arrival_seq_base_ =
+      queue_.reserve_seqs(static_cast<std::uint64_t>(s.tenant_count));
+  arrival_cursor_ = 0;
+  if (s.tenant_count > 0) {
+    queue_.push_at_seq(arrivals.front(), arrival_seq_base_, 0,
+                       EventKind::kArrival);
   }
 
   // Topology-change events share the one global deterministic queue with
@@ -860,6 +956,46 @@ FleetReport FleetEngine::run(const Scenario& s) {
       case EventKind::kAutoscaleEval:
         break;  // handled above
     }
+    if (incremental_placement_) {
+      // One state push for the shard this event touched. A rejected
+      // arrival changed nothing, so re-publishing the tenant's previous
+      // shard is a harmless (and cheap) no-op upsert.
+      publish_host(shards_[static_cast<std::size_t>(t.host)]);
+    }
+    if (e.kind == EventKind::kArrival &&
+        e.tenant == static_cast<std::uint64_t>(arrival_cursor_)) {
+      // That was the cursor tenant's initial arrival (re-arrivals always
+      // carry a smaller id): seed the next one — or, once the density
+      // latch has tripped, reject the whole unseeded tail in bulk. Each
+      // of those arrivals would have been one queue round-trip ending in
+      // the pre-placement latch check; the outcome (admitted = false, one
+      // fleet-level rejection, no host consulted) is identical, only the
+      // per-tenant event cost disappears.
+      ++arrival_cursor_;
+      if (arrival_cursor_ < s.tenant_count) {
+        if (s.stop_at_first_oom && report_.first_oom_tenant >= 0) {
+          for (int i = arrival_cursor_; i < s.tenant_count; ++i) {
+            tenants_[static_cast<std::size_t>(i)].outcome.admitted = false;
+            ++report_.rejected;
+          }
+          latched_tail_ = true;
+          latched_tail_time_ = arrivals.back();
+          arrival_cursor_ = s.tenant_count;
+        } else {
+          queue_.push_at_seq(
+              arrivals[static_cast<std::size_t>(arrival_cursor_)],
+              arrival_seq_base_ + static_cast<std::uint64_t>(arrival_cursor_),
+              static_cast<std::uint64_t>(arrival_cursor_),
+              EventKind::kArrival);
+        }
+      }
+    }
+  }
+  if (latched_tail_) {
+    // The bulk-rejected arrivals never became events; without this the
+    // makespan would stop at the last *processed* event instead of the
+    // last arrival, as the eager queue reported it.
+    last_event = std::max(last_event, latched_tail_time_);
   }
 
   report_.hosts.reserve(shards_.size());

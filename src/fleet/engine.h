@@ -18,6 +18,7 @@
 // pre-cluster engine (pinned by tests/fleet_golden_test.cpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -142,13 +143,22 @@ class FleetEngine {
   void start_phase(Tenant& t, platforms::WorkloadClass w, const Scenario& s);
 
   /// Admission control against the tenant's shard: would its resident set
-  /// still fit?
+  /// still fit? Read-only on rejection — KSM fit is decided by
+  /// mem::Ksm::probe_runs, and only an accepted host mutates its tree.
   bool admit(Shard& sh, Tenant& t, const Scenario& s);
 
   /// Fill ranked_ with the live-host candidate walk for an arriving
   /// tenant: the policy's ranking in cluster mode, the single live shard
-  /// otherwise.
+  /// otherwise. Legacy (snapshot + sort) path — incremental policies are
+  /// walked lazily instead (see handle_arrival).
   void rank_candidates(const Tenant& t, const Scenario& s);
+
+  /// Push one live shard's current state to an incremental policy (no-op
+  /// otherwise). Called after every event that changed the shard.
+  void publish_host(Shard& sh);
+
+  /// Tell an incremental policy that `sh`'s tenant count for `id` moved.
+  void notify_platform_count(Shard& sh, platforms::PlatformId id);
 
   /// Release everything tenant t currently charges against shard sh:
   /// in-flight CPU/NIC demand, KSM registration, resident bytes, active
@@ -187,8 +197,32 @@ class FleetEngine {
   std::vector<Tenant> tenants_;
   std::vector<HostView> views_;  // recycled placement snapshot storage
   std::vector<int> ranked_;      // recycled candidate-walk storage
+  std::vector<mem::PageRun> run_scratch_;  // recycled guest-run storage
   hap::EpssModel epss_;
   FleetReport report_;
+
+  /// True when policy_ maintains host orderings incrementally: the engine
+  /// pushes state deltas instead of building per-arrival snapshots, and
+  /// the admission walk pulls candidates lazily in O(log M) each.
+  bool incremental_placement_ = false;
+
+  /// by_platform stats resolved once per PlatformId instead of one
+  /// string-keyed map lookup per boot (ids and names are 1:1 per run).
+  static constexpr std::size_t kPlatformIdSlots = 16;
+  static_assert(static_cast<std::size_t>(
+                    platforms::PlatformId::kOsvFirecracker) <
+                    kPlatformIdSlots,
+                "grow kPlatformIdSlots when adding PlatformId enumerators");
+  std::array<PlatformFleetStats*, kPlatformIdSlots> stats_by_id_{};
+
+  /// Lazy arrival seeding: only the next initial arrival sits in the queue
+  /// (with a pre-reserved seq so same-timestamp tie order is unchanged).
+  /// When the density-stop latch trips, the unseeded tail is rejected in
+  /// bulk without paying one event per tenant.
+  int arrival_cursor_ = 0;          // tenant whose initial arrival is queued
+  std::uint64_t arrival_seq_base_ = 0;
+  bool latched_tail_ = false;       // bulk-rejected a post-latch tail
+  sim::Nanos latched_tail_time_ = 0;  // last (bulk-rejected) arrival time
 
   int active_ = 0;  // fleet-wide admitted, not yet torn down
   sim::Nanos last_scale_ = 0;  // virtual time of the last autoscale action

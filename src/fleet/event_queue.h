@@ -48,14 +48,42 @@ class EventQueue {
  public:
   void push(sim::Nanos time, std::uint64_t tenant, EventKind kind,
             std::uint32_t epoch = 0) {
-    const std::uint64_t seq = next_seq_++;
+    push_at_seq(time, next_seq_++, tenant, kind, epoch);
+  }
+
+  /// Reserve `n` consecutive sequence numbers and return the first. The
+  /// engine pre-assigns arrival seqs with this so arrivals seeded lazily
+  /// (one step ahead of the cursor) keep the exact same-timestamp tie
+  /// order an eagerly seeded queue would have had.
+  std::uint64_t reserve_seqs(std::uint64_t n) {
+    const std::uint64_t base = next_seq_;
+    next_seq_ += n;
+    return base;
+  }
+
+  /// Push with a seq obtained from reserve_seqs(). The seq must be larger
+  /// than every already-popped event's seq at this timestamp (the engine's
+  /// ascending arrival order guarantees this).
+  void push_at_seq(sim::Nanos time, std::uint64_t seq, std::uint64_t tenant,
+                   EventKind kind, std::uint32_t epoch = 0) {
     const auto [it, inserted] = open_.try_emplace(time, 0u);
     if (inserted) {
       it->second = alloc_batch(time, seq);
       heap_.push_back(it->second);
       sift_up(heap_.size() - 1);
     }
-    batches_[it->second].items.push_back(Item{seq, tenant, kind, epoch});
+    Batch& b = batches_[it->second];
+    // Reserved seqs can be smaller than ones already queued at this
+    // timestamp: keep the pending tail of the batch sorted by seq.
+    if (b.items.empty() || b.items.back().seq < seq) {
+      b.items.push_back(Item{seq, tenant, kind, epoch});
+    } else {
+      auto pos = b.items.begin() + static_cast<std::ptrdiff_t>(b.cursor);
+      while (pos != b.items.end() && pos->seq < seq) {
+        ++pos;
+      }
+      b.items.insert(pos, Item{seq, tenant, kind, epoch});
+    }
     ++size_;
   }
 

@@ -2,15 +2,76 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "fleet/indexed_heap.h"
 
 namespace fleet {
 
 namespace {
 
+// --- Ranking keys, shared by the sort path (rank_hosts over a HostView
+// snapshot) and the heap path (incremental walk over HostState) so the two
+// orderings cannot drift apart. ------------------------------------------
+
+std::uint64_t free_bytes_of(std::uint64_t cap, std::uint64_t resident) {
+  return cap > resident ? cap - resident : 0;
+}
+
 std::uint64_t free_bytes(const HostView& h) {
-  return h.ram_cap_bytes > h.resident_bytes
-             ? h.ram_cap_bytes - h.resident_bytes
-             : 0;
+  return free_bytes_of(h.ram_cap_bytes, h.resident_bytes);
+}
+
+std::uint64_t free_bytes(const HostState& h) {
+  return free_bytes_of(h.ram_cap_bytes, h.resident_bytes);
+}
+
+/// Weighted pressure score: RAM dominates (it is the hard admission
+/// limit), CPU demand stretches every in-flight duration, the NIC only
+/// congests network phases.
+constexpr double kRamWeight = 0.5;
+constexpr double kCpuWeight = 0.35;
+constexpr double kNicWeight = 0.15;
+
+double pressure_score_of(std::uint64_t cap, std::uint64_t resident,
+                         const HostPressure& p) {
+  const double ram_used =
+      cap == 0 ? 1.0
+               : 1.0 - static_cast<double>(free_bytes_of(cap, resident)) /
+                           static_cast<double>(cap);
+  const double threads = static_cast<double>(std::max(1, p.cpu_threads));
+  // CPU and NIC saturate at 1.0: past saturation everything on the host is
+  // already stretched, and RAM — the hard admission limit — must keep
+  // dominating the comparison.
+  const double cpu = std::min(1.0, p.cpu_demand / threads);
+  const double nic = std::min(1.0, static_cast<double>(p.net_active) / threads);
+  return kRamWeight * ram_used + kCpuWeight * cpu + kNicWeight * nic;
+}
+
+double pressure_score(const HostView& h) {
+  return pressure_score_of(h.ram_cap_bytes, h.resident_bytes, h.pressure);
+}
+
+double pressure_score(const HostState& h) {
+  return pressure_score_of(h.ram_cap_bytes, h.resident_bytes, h.pressure);
+}
+
+/// Fraction of a host's RAM that pack-then-spill fills before opening the
+/// next host. Below 1.0 so the pile leaves headroom for admission-time
+/// variance; the retry walk absorbs overshoot as a spill, not an OOM.
+constexpr double kPackWatermark = 0.9;
+
+bool above_watermark_of(std::uint64_t cap, std::uint64_t resident) {
+  return static_cast<double>(resident) >=
+         kPackWatermark * static_cast<double>(cap);
+}
+
+bool above_watermark(const HostView& h) {
+  return above_watermark_of(h.ram_cap_bytes, h.resident_bytes);
+}
+
+bool above_watermark(const HostState& h) {
+  return above_watermark_of(h.ram_cap_bytes, h.resident_bytes);
 }
 
 /// Sort positions 0..n-1 by `less` (which must totally order ties, e.g. by
@@ -33,10 +94,122 @@ void rank_by(const std::vector<HostView>& hosts, std::vector<int>& ranked,
   }
 }
 
+// --- Incremental machinery -----------------------------------------------
+
+/// Shared base of the built-in incremental policies: the authoritative
+/// engine-pushed per-host state, liveness, and the popped-candidate list a
+/// lazy walk must restore before the next arrival.
+class IncrementalPolicy : public PlacementPolicy {
+ public:
+  bool incremental() const override { return true; }
+
+  void reset() override {
+    states_.clear();
+    live_.clear();
+    popped_.clear();
+    reset_orderings();
+  }
+
+  void host_updated(const HostState& s) override {
+    const auto i = static_cast<std::size_t>(s.index);
+    if (i >= states_.size()) {
+      states_.resize(i + 1);
+      live_.resize(i + 1, 0);
+    }
+    const bool was_live = live_[i] != 0;
+    states_[i] = s;
+    live_[i] = 1;
+    if (was_live) {
+      host_changed(s.index);
+    } else {
+      host_added(s.index);
+    }
+  }
+
+  void host_removed(int host) override {
+    const auto i = static_cast<std::size_t>(host);
+    if (i >= live_.size() || live_[i] == 0) {
+      return;
+    }
+    live_[i] = 0;
+    host_dropped(host);
+  }
+
+ protected:
+  virtual void reset_orderings() = 0;
+  virtual void host_added(int host) = 0;    // newly live: join the orderings
+  virtual void host_changed(int host) = 0;  // key changed: reposition
+  virtual void host_dropped(int host) = 0;  // drained: leave the orderings
+
+  bool is_live(int host) const {
+    return static_cast<std::size_t>(host) < live_.size() &&
+           live_[static_cast<std::size_t>(host)] != 0;
+  }
+
+  std::vector<HostState> states_;
+  std::vector<char> live_;
+  /// Hosts emitted by the current walk (out of their heap until restored).
+  std::vector<int> popped_;
+};
+
+/// Single-heap incremental policy: one comparator, one ordering. The walk
+/// pops candidates lazily — O(log M) per candidate actually tried — and
+/// walk_begin() re-inserts the previous walk's pops.
+template <typename Cmp>
+class HeapWalkPolicy : public IncrementalPolicy {
+ public:
+  void walk_begin(const PlacementRequest& req) override {
+    (void)req;
+    restore_popped();
+  }
+
+  int walk_next() override {
+    if (heap_.empty()) {
+      return -1;
+    }
+    const int host = heap_.pop();
+    popped_.push_back(host);
+    return host;
+  }
+
+ protected:
+  explicit HeapWalkPolicy(Cmp cmp) : heap_(cmp) {}
+
+  void reset_orderings() override { heap_.clear(); }
+  void host_added(int host) override { heap_.push(host); }
+  void host_changed(int host) override {
+    if (heap_.contains(host)) {  // popped hosts rejoin with fresh state
+      heap_.update(host);
+    }
+  }
+  void host_dropped(int host) override {
+    if (heap_.contains(host)) {
+      heap_.erase(host);
+    }
+  }
+
+  void restore_popped() {
+    for (const int host : popped_) {
+      if (is_live(host) && !heap_.contains(host)) {
+        heap_.push(host);
+      }
+    }
+    popped_.clear();
+  }
+
+  IndexedHeap<Cmp> heap_;
+};
+
 class RoundRobinPlacement final : public PlacementPolicy {
  public:
   std::string name() const override { return "round-robin"; }
-  void reset() override { cursor_ = 0; }
+  bool incremental() const override { return true; }
+  void reset() override {
+    cursor_ = 0;
+    live_hosts_.clear();
+    walk_start_ = 0;
+    walk_emitted_ = 0;
+  }
   void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
                   std::vector<int>& ranked) override {
     // One cursor step per arrival; the retry walk continues around the
@@ -48,12 +221,53 @@ class RoundRobinPlacement final : public PlacementPolicy {
     }
   }
 
+  void host_updated(const HostState& s) override {
+    const auto it =
+        std::lower_bound(live_hosts_.begin(), live_hosts_.end(), s.index);
+    if (it == live_hosts_.end() || *it != s.index) {
+      live_hosts_.insert(it, s.index);
+    }
+  }
+  void host_removed(int host) override {
+    const auto it =
+        std::lower_bound(live_hosts_.begin(), live_hosts_.end(), host);
+    if (it != live_hosts_.end() && *it == host) {
+      live_hosts_.erase(it);
+    }
+  }
+  void walk_begin(const PlacementRequest&) override {
+    walk_start_ = static_cast<std::size_t>(cursor_++ % live_hosts_.size());
+    walk_emitted_ = 0;
+  }
+  int walk_next() override {
+    if (walk_emitted_ >= live_hosts_.size()) {
+      return -1;
+    }
+    return live_hosts_[(walk_start_ + walk_emitted_++) % live_hosts_.size()];
+  }
+
  private:
   std::uint64_t cursor_ = 0;
+  std::vector<int> live_hosts_;  // sorted, mirrors the snapshot's order
+  std::size_t walk_start_ = 0;
+  std::size_t walk_emitted_ = 0;
 };
 
-class LeastLoadedPlacement final : public PlacementPolicy {
+struct LeastLoadedCmp {
+  const std::vector<HostState>* states;
+  bool operator()(int a, int b) const {
+    const std::uint64_t fa = free_bytes((*states)[static_cast<std::size_t>(a)]);
+    const std::uint64_t fb = free_bytes((*states)[static_cast<std::size_t>(b)]);
+    if (fa != fb) {
+      return fa > fb;
+    }
+    return a < b;
+  }
+};
+
+class LeastLoadedPlacement final : public HeapWalkPolicy<LeastLoadedCmp> {
  public:
+  LeastLoadedPlacement() : HeapWalkPolicy(LeastLoadedCmp{&states_}) {}
   std::string name() const override { return "least-loaded"; }
   void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
                   std::vector<int>& ranked) override {
@@ -68,7 +282,15 @@ class LeastLoadedPlacement final : public PlacementPolicy {
   }
 };
 
-class KsmAffinityPlacement final : public PlacementPolicy {
+class KsmAffinityPlacement;
+
+struct AffinityCmp {
+  const KsmAffinityPlacement* self;
+  platforms::PlatformId platform;
+  bool operator()(int a, int b) const;
+};
+
+class KsmAffinityPlacement final : public IncrementalPolicy {
  public:
   std::string name() const override { return "ksm-affinity"; }
   void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
@@ -88,33 +310,140 @@ class KsmAffinityPlacement final : public PlacementPolicy {
       return a.index < b.index;
     });
   }
+
+  void platform_count_changed(int host, platforms::PlatformId platform,
+                              int count) override {
+    auto& per_host = counts_[platform];
+    if (per_host.size() <= static_cast<std::size_t>(host)) {
+      per_host.resize(static_cast<std::size_t>(host) + 1, 0);
+    }
+    per_host[static_cast<std::size_t>(host)] = count;
+    const auto it = heaps_.find(platform);
+    if (it != heaps_.end() && it->second.contains(host)) {
+      it->second.update(host);
+    }
+  }
+
+  void walk_begin(const PlacementRequest& req) override {
+    restore_popped();
+    walk_platform_ = req.platform_id;
+    has_walked_ = true;
+    auto it = heaps_.find(walk_platform_);
+    if (it == heaps_.end()) {
+      // First arrival of this platform: build its ordering lazily from the
+      // current live set (counts default to zero, so this is just a
+      // free-RAM ordering until piles form).
+      it = heaps_.emplace(walk_platform_,
+                          IndexedHeap<AffinityCmp>(
+                              AffinityCmp{this, walk_platform_}))
+               .first;
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        if (live_[i] != 0) {
+          it->second.push(static_cast<int>(i));
+        }
+      }
+    }
+  }
+
+  int walk_next() override {
+    auto& heap = heaps_.at(walk_platform_);
+    if (heap.empty()) {
+      return -1;
+    }
+    const int host = heap.pop();
+    popped_.push_back(host);
+    return host;
+  }
+
+  int count_for(platforms::PlatformId platform, int host) const {
+    const auto it = counts_.find(platform);
+    if (it == counts_.end() ||
+        it->second.size() <= static_cast<std::size_t>(host)) {
+      return 0;
+    }
+    return it->second[static_cast<std::size_t>(host)];
+  }
+
+  const HostState& state_of(int host) const {
+    return states_[static_cast<std::size_t>(host)];
+  }
+
+ protected:
+  void reset_orderings() override {
+    heaps_.clear();
+    counts_.clear();
+    has_walked_ = false;
+  }
+  void host_added(int host) override {
+    for (auto& [platform, heap] : heaps_) {
+      heap.push(host);
+    }
+  }
+  void host_changed(int host) override {
+    for (auto& [platform, heap] : heaps_) {
+      if (heap.contains(host)) {
+        heap.update(host);
+      }
+    }
+  }
+  void host_dropped(int host) override {
+    for (auto& [platform, heap] : heaps_) {
+      if (heap.contains(host)) {
+        heap.erase(host);
+      }
+    }
+  }
+
+  void restore_popped() {
+    if (!has_walked_) {
+      popped_.clear();
+      return;
+    }
+    auto& heap = heaps_.at(walk_platform_);
+    for (const int host : popped_) {
+      if (is_live(host) && !heap.contains(host)) {
+        heap.push(host);
+      }
+    }
+    popped_.clear();
+  }
+
+ private:
+  std::unordered_map<platforms::PlatformId, std::vector<int>> counts_;
+  std::unordered_map<platforms::PlatformId, IndexedHeap<AffinityCmp>> heaps_;
+  platforms::PlatformId walk_platform_ = platforms::PlatformId::kNative;
+  bool has_walked_ = false;
 };
 
-/// Weighted pressure score: RAM dominates (it is the hard admission
-/// limit), CPU demand stretches every in-flight duration, the NIC only
-/// congests network phases.
-constexpr double kRamWeight = 0.5;
-constexpr double kCpuWeight = 0.35;
-constexpr double kNicWeight = 0.15;
-
-double pressure_score(const HostView& h) {
-  const double ram_used =
-      h.ram_cap_bytes == 0
-          ? 1.0
-          : 1.0 - static_cast<double>(free_bytes(h)) /
-                      static_cast<double>(h.ram_cap_bytes);
-  const double threads = static_cast<double>(std::max(1, h.pressure.cpu_threads));
-  // CPU and NIC saturate at 1.0: past saturation everything on the host is
-  // already stretched, and RAM — the hard admission limit — must keep
-  // dominating the comparison.
-  const double cpu = std::min(1.0, h.pressure.cpu_demand / threads);
-  const double nic =
-      std::min(1.0, static_cast<double>(h.pressure.net_active) / threads);
-  return kRamWeight * ram_used + kCpuWeight * cpu + kNicWeight * nic;
+bool AffinityCmp::operator()(int a, int b) const {
+  const int ca = self->count_for(platform, a);
+  const int cb = self->count_for(platform, b);
+  if (ca != cb) {
+    return ca > cb;
+  }
+  const std::uint64_t fa = free_bytes(self->state_of(a));
+  const std::uint64_t fb = free_bytes(self->state_of(b));
+  if (fa != fb) {
+    return fa > fb;
+  }
+  return a < b;
 }
 
-class LeastPressurePlacement final : public PlacementPolicy {
+struct LeastPressureCmp {
+  const std::vector<HostState>* states;
+  bool operator()(int a, int b) const {
+    const double sa = pressure_score((*states)[static_cast<std::size_t>(a)]);
+    const double sb = pressure_score((*states)[static_cast<std::size_t>(b)]);
+    if (sa != sb) {
+      return sa < sb;
+    }
+    return a < b;
+  }
+};
+
+class LeastPressurePlacement final : public HeapWalkPolicy<LeastPressureCmp> {
  public:
+  LeastPressurePlacement() : HeapWalkPolicy(LeastPressureCmp{&states_}) {}
   std::string name() const override { return "least-pressure"; }
   void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
                   std::vector<int>& ranked) override {
@@ -129,18 +458,21 @@ class LeastPressurePlacement final : public PlacementPolicy {
   }
 };
 
-/// Fraction of a host's RAM that pack-then-spill fills before opening the
-/// next host. Below 1.0 so the pile leaves headroom for admission-time
-/// variance; the retry walk absorbs overshoot as a spill, not an OOM.
-constexpr double kPackWatermark = 0.9;
+struct PackThenSpillCmp {
+  const std::vector<HostState>* states;
+  bool operator()(int a, int b) const {
+    const bool fa = above_watermark((*states)[static_cast<std::size_t>(a)]);
+    const bool fb = above_watermark((*states)[static_cast<std::size_t>(b)]);
+    if (fa != fb) {
+      return !fa;
+    }
+    return a < b;
+  }
+};
 
-bool above_watermark(const HostView& h) {
-  return static_cast<double>(h.resident_bytes) >=
-         kPackWatermark * static_cast<double>(h.ram_cap_bytes);
-}
-
-class PackThenSpillPlacement final : public PlacementPolicy {
+class PackThenSpillPlacement final : public HeapWalkPolicy<PackThenSpillCmp> {
  public:
+  PackThenSpillPlacement() : HeapWalkPolicy(PackThenSpillCmp{&states_}) {}
   std::string name() const override { return "pack-then-spill"; }
   void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
                   std::vector<int>& ranked) override {

@@ -87,6 +87,18 @@ struct PlacementRequest {
   std::uint64_t guest_ram_bytes = 0;
 };
 
+/// Request-independent per-host state for the incremental protocol: what
+/// host_updated() pushes after an engine-side change. The same quantities
+/// as HostView minus same_platform_tenants (which depends on the arriving
+/// tenant; incremental policies track it via platform_count_changed).
+struct HostState {
+  int index = 0;
+  std::uint64_t ram_cap_bytes = 0;
+  std::uint64_t resident_bytes = 0;
+  int active_tenants = 0;
+  HostPressure pressure;
+};
+
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
@@ -96,6 +108,43 @@ class PlacementPolicy {
   /// Called once at the start of every run; clears any cursor state so
   /// identical runs make identical decisions.
   virtual void reset() {}
+
+  // --- Incremental protocol -----------------------------------------------
+  // Policies returning true here maintain host orderings incrementally
+  // (indexed heaps updated from the engine's per-event state deltas) and
+  // serve the admission walk through walk_begin()/walk_next() in
+  // O(walk length * log M), instead of receiving a fresh O(M) snapshot and
+  // sorting it on every arrival. The engine then never builds HostView
+  // snapshots: it pushes host_updated() after each event that changed a
+  // host, platform_count_changed() when a host's per-platform tenant count
+  // moves, and host_removed() on a drain. The emitted walk order must be
+  // identical to rank_hosts() on an equivalent snapshot (pinned by
+  // tests/placement_equivalence_test.cpp for the built-in policies).
+
+  /// True when this policy implements the incremental protocol.
+  virtual bool incremental() const { return false; }
+
+  /// Upsert one live host's state (also how new hosts are introduced).
+  virtual void host_updated(const HostState& state) { (void)state; }
+
+  /// A host's active tenant count for one platform changed.
+  virtual void platform_count_changed(int host, platforms::PlatformId platform,
+                                      int count) {
+    (void)host;
+    (void)platform;
+    (void)count;
+  }
+
+  /// The host was drained: drop it from every ordering.
+  virtual void host_removed(int host) { (void)host; }
+
+  /// Start a candidate walk for one arrival. Advances cursor state exactly
+  /// like one rank_hosts() call.
+  virtual void walk_begin(const PlacementRequest& req) { (void)req; }
+
+  /// Next candidate in ranked order, or -1 when every live host has been
+  /// emitted. Only valid between walk_begin() calls.
+  virtual int walk_next() { return -1; }
 
   /// Rank hosts from most to least preferred, appending HostView::index
   /// values to `ranked` (which arrives cleared). `hosts` has one view per

@@ -57,6 +57,14 @@ std::string FleetReport::to_text() const {
            " ms, p99 " + fmt("%.2f", cluster_boot_ms.percentile(99)) +
            " ms over " + std::to_string(cluster_boot_ms.size()) + " boots\n";
   }
+  // SLO verdict: rendered only when the scenario set a budget, so
+  // budget-less runs stay byte-identical to the pinned goldens.
+  if (boot_slo_ms > 0 && !cluster_boot_ms.empty()) {
+    out += "boot SLO: " + fmt("%.1f", 100.0 * boot_slo_fraction()) +
+           "% of " + std::to_string(cluster_boot_ms.size()) +
+           " cold starts within " + fmt("%.2f", sim::to_millis(boot_slo_ms)) +
+           " ms\n";
+  }
   if (churn_rearrivals > 0) {
     out += "churn: " + std::to_string(churn_rearrivals) + " re-arrivals\n";
   }
@@ -120,6 +128,13 @@ std::string FleetReport::to_text() const {
     }
   }
   return out;
+}
+
+double FleetReport::boot_slo_fraction() const {
+  if (cluster_boot_ms.empty()) {
+    return 0.0;
+  }
+  return cluster_boot_ms.fraction_below(sim::to_millis(boot_slo_ms));
 }
 
 core::CdfSeries FleetReport::cluster_boot_cdf() const {

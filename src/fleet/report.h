@@ -175,6 +175,16 @@ class FleetReport {
     return n;
   }
 
+  /// Cold-start SLO budget copied from Scenario::boot_slo_ms; zero means
+  /// no budget was set and no verdict line is rendered (keeping pinned
+  /// goldens byte-identical).
+  sim::Nanos boot_slo_ms = 0;
+
+  /// Fraction of boots within the SLO budget, over every boot the run
+  /// observed (all platforms, all hosts, every churn round). Only
+  /// meaningful when boot_slo_ms > 0 and at least one boot completed.
+  double boot_slo_fraction() const;
+
   /// Every boot latency across all platforms and hosts — the cluster-wide
   /// boot CDF. Filled on single-host runs too, but only rendered (and only
   /// exported via cluster_boot_cdf()) for cluster runs.

@@ -143,6 +143,15 @@ struct Scenario {
   /// Explicit timed add/drain hooks, evaluated alongside the autoscaler.
   std::vector<HostEvent> host_events;
 
+  // --- Service-level objectives -------------------------------------------
+  /// Cold-start budget: when positive, the report renders the fraction of
+  /// boots (admission to serving, across all platforms and churn rounds)
+  /// that finished within it. Zero disables the verdict line entirely, so
+  /// budget-less runs stay byte-identical to the pinned goldens. NOTE:
+  /// typed sim::Nanos like every duration here — assign via
+  /// sim::millis(...), not a bare number.
+  sim::Nanos boot_slo_ms = 0;
+
   // --- Churn (long-horizon runs) ------------------------------------------
   /// Times each tenant re-enters the fleet after teardown: its resources
   /// are released, it idles churn_gap, then re-arrives and faces placement

@@ -4,6 +4,7 @@ namespace hostk {
 
 void Ftrace::start() {
   counts_.clear();
+  ++generation_;
   recording_ = true;
 }
 

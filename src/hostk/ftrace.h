@@ -29,6 +29,16 @@ class Ftrace {
   /// Record `count` invocations of `fn`. No-op unless recording.
   void record(FunctionId fn, std::uint64_t count = 1);
 
+  /// Tracing-window generation; bumped by start(). Lets callers cache
+  /// slot() pointers and invalidate them when the window restarts.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Stable pointer to `fn`'s counter within the current window, creating
+  /// it at zero (first-touch, exactly like record()'s first hit — the map's
+  /// insertion order, and so its iteration order, is unchanged). Valid
+  /// until the next start(). Only call while recording.
+  std::uint64_t* slot(FunctionId fn) { return &counts_[fn]; }
+
   /// Number of distinct functions hit — the original HAP breadth metric.
   std::size_t distinct_functions() const { return counts_.size(); }
 
@@ -50,6 +60,7 @@ class Ftrace {
  private:
   const KernelFunctionRegistry* registry_;
   std::unordered_map<FunctionId, std::uint64_t> counts_;
+  std::uint64_t generation_ = 0;
   bool recording_ = false;
 };
 

@@ -386,10 +386,21 @@ sim::Nanos HostKernel::invoke(Syscall sc, sim::Rng& rng, std::uint64_t count) {
   if (count == 0) {
     return 0;
   }
-  const auto& spec = specs_[index_of(sc)];
+  const std::size_t i = index_of(sc);
+  const auto& spec = specs_[i];
   if (ftrace_.recording()) {
-    for (const auto& hit : spec.functions) {
-      ftrace_.record(hit.fn, static_cast<std::uint64_t>(hit.count) * count);
+    TraceSlots& cache = trace_slots_[i];
+    if (cache.generation != ftrace_.generation()) {
+      cache.slots.clear();
+      for (const auto& hit : spec.functions) {
+        if (hit.count > 0) {  // record() never creates zero-count entries
+          cache.slots.emplace_back(ftrace_.slot(hit.fn), hit.count);
+        }
+      }
+      cache.generation = ftrace_.generation();
+    }
+    for (const auto& [slot, mult] : cache.slots) {
+      *slot += mult * count;
     }
   }
   // One stochastic sample scaled by count: keeps long batches cheap while

@@ -71,9 +71,21 @@ class HostKernel {
   void append_functions(Syscall sc, std::initializer_list<const char*> functions,
                         std::uint32_t count = 1);
 
+  /// Per-syscall cache of (counter slot, multiplicity) pairs into the
+  /// ftrace's current window, rebuilt lazily when the window generation
+  /// changes. Unordered-map node pointers are stable, and the rebuild
+  /// touches the window's counters in the same first-touch order record()
+  /// would, so counts_ iteration order — and every float sum derived from
+  /// it — is unchanged; dispatch just skips the per-function hash lookups.
+  struct TraceSlots {
+    std::uint64_t generation = 0;
+    std::vector<std::pair<std::uint64_t*, std::uint64_t>> slots;
+  };
+
   KernelFunctionRegistry registry_;
   Ftrace ftrace_;
   std::array<SyscallSpec, kSyscallCount> specs_;
+  std::array<TraceSlots, kSyscallCount> trace_slots_;
 };
 
 }  // namespace hostk

@@ -1,36 +1,24 @@
 #include "hostk/page_cache.h"
 
+#include <algorithm>
+
 namespace hostk {
 
 PageCache::PageCache(std::uint64_t capacity_bytes)
     : capacity_pages_(capacity_bytes / kPageSize) {}
 
-std::uint64_t PageCache::hash(PageKey key) {
-  std::uint64_t x = key.file * 0x9E3779B97F4A7C15ull + key.page;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
+std::uint32_t PageCache::alloc_node() {
+  if (!free_.empty()) {
+    const std::uint32_t n = free_.back();
+    free_.pop_back();
+    return n;
+  }
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  return n;
 }
 
-std::uint32_t PageCache::find(PageKey key, std::uint64_t* slot) const {
-  if (table_.empty()) {
-    *slot = 0;
-    return kNil;
-  }
-  std::uint64_t i = hash(key) & table_mask_;
-  while (true) {
-    const std::uint32_t n = table_[i];
-    if (n == kNil) {
-      *slot = i;
-      return kNil;
-    }
-    if (nodes_[n].key == key) {
-      *slot = i;
-      return n;
-    }
-    i = (i + 1) & table_mask_;
-  }
-}
+void PageCache::free_node(std::uint32_t n) { free_.push_back(n); }
 
 void PageCache::link_front(std::uint32_t n) {
   nodes_[n].prev = kNil;
@@ -41,6 +29,18 @@ void PageCache::link_front(std::uint32_t n) {
   head_ = n;
   if (tail_ == kNil) {
     tail_ = n;
+  }
+}
+
+void PageCache::link_before(std::uint32_t n, std::uint32_t next) {
+  const std::uint32_t p = nodes_[next].prev;
+  nodes_[n].prev = p;
+  nodes_[n].next = next;
+  nodes_[next].prev = n;
+  if (p != kNil) {
+    nodes_[p].next = n;
+  } else {
+    head_ = n;
   }
 }
 
@@ -59,97 +59,103 @@ void PageCache::unlink(std::uint32_t n) {
   }
 }
 
-void PageCache::promote(std::uint32_t n) {
-  if (head_ == n) {
+std::uint32_t PageCache::covering(std::uint64_t file, std::uint64_t page) const {
+  auto it = index_.upper_bound({file, page});
+  if (it == index_.begin()) {
+    return kNil;
+  }
+  --it;
+  if (it->first.first != file) {
+    return kNil;
+  }
+  const std::uint32_t n = it->second;
+  return nodes_[n].end > page ? n : kNil;
+}
+
+void PageCache::carve(std::uint32_t n, std::uint64_t lo, std::uint64_t hi) {
+  // By value: alloc_node() below may grow nodes_ and invalidate references.
+  const std::uint64_t file = nodes_[n].file;
+  const std::uint64_t start = nodes_[n].start;
+  const std::uint64_t end = nodes_[n].end;
+  if (start < lo && end > hi) {
+    // Middle removal: the higher (more recent) fragment takes a new node
+    // just head-ward of n; n keeps the lower fragment and its index key.
+    const std::uint32_t h = alloc_node();
+    nodes_[h] = Node{file, hi, end, kNil, kNil};
+    nodes_[n].end = lo;
+    link_before(h, n);
+    index_[{file, hi}] = h;
     return;
   }
+  if (start < lo) {
+    nodes_[n].end = lo;
+    return;
+  }
+  if (end > hi) {
+    index_.erase({file, start});
+    nodes_[n].start = hi;
+    index_[{file, hi}] = n;
+    return;
+  }
+  index_.erase({file, start});
   unlink(n);
-  link_front(n);
-}
-
-void PageCache::erase_slot_of(PageKey key) {
-  std::uint64_t i = 0;
-  const std::uint32_t n = find(key, &i);
-  if (n == kNil) {
-    return;
-  }
-  // Backward-shift deletion keeps probe chains intact without tombstones.
-  while (true) {
-    table_[i] = kNil;
-    std::uint64_t j = i;
-    while (true) {
-      j = (j + 1) & table_mask_;
-      const std::uint32_t m = table_[j];
-      if (m == kNil) {
-        return;
-      }
-      const std::uint64_t home = hash(nodes_[m].key) & table_mask_;
-      // Move m into the hole unless its home slot lies cyclically in (i, j].
-      const bool stays = (j > i) ? (home > i && home <= j)
-                                 : (home > i || home <= j);
-      if (!stays) {
-        table_[i] = m;
-        i = j;
-        break;
-      }
-    }
-  }
-}
-
-void PageCache::grow_table() {
-  const std::uint64_t new_size = table_.empty() ? 256 : table_.size() * 2;
-  table_.assign(new_size, kNil);
-  table_mask_ = new_size - 1;
-  for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
-    std::uint64_t i = hash(nodes_[n].key) & table_mask_;
-    while (table_[i] != kNil) {
-      i = (i + 1) & table_mask_;
-    }
-    table_[i] = n;
-  }
-}
-
-void PageCache::maybe_grow() {
-  if (table_.empty() || (size_ + 1) * 4 > table_.size() * 3) {
-    grow_table();
-  }
-}
-
-void PageCache::insert_new(PageKey key, std::uint64_t slot) {
-  std::uint32_t n;
-  if (!free_.empty()) {
-    n = free_.back();
-    free_.pop_back();
-  } else {
-    n = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(Node{});
-  }
-  nodes_[n].key = key;
-  table_[slot] = n;
-  link_front(n);
-  ++size_;
-  if (size_ > capacity_pages_) {
-    evict_lru();
-  }
+  free_node(n);
 }
 
 void PageCache::evict_lru() {
   const std::uint32_t t = tail_;
-  erase_slot_of(nodes_[t].key);
-  unlink(t);
-  free_.push_back(t);
+  Node& node = nodes_[t];
+  index_.erase({node.file, node.start});
+  ++node.start;
   --size_;
+  if (node.start == node.end) {
+    unlink(t);
+    free_node(t);
+  } else {
+    index_[{node.file, node.start}] = t;
+  }
+}
+
+void PageCache::try_merge_with_next(std::uint32_t n) {
+  const std::uint32_t m = nodes_[n].next;
+  if (m == kNil) {
+    return;
+  }
+  if (nodes_[m].file != nodes_[n].file || nodes_[m].end != nodes_[n].start) {
+    return;
+  }
+  index_.erase({nodes_[n].file, nodes_[n].start});
+  index_.erase({nodes_[m].file, nodes_[m].start});
+  nodes_[n].start = nodes_[m].start;
+  index_[{nodes_[n].file, nodes_[n].start}] = n;
+  unlink(m);
+  free_node(m);
+}
+
+void PageCache::promote_page(std::uint32_t n, PageKey key) {
+  if (n == head_ && nodes_[n].end == key.page + 1) {
+    return;  // already the MRU page
+  }
+  carve(n, key.page, key.page + 1);
+  link_single_front(key);
+}
+
+void PageCache::link_single_front(PageKey key) {
+  const std::uint32_t s = alloc_node();
+  nodes_[s] = Node{key.file, key.page, key.page + 1, kNil, kNil};
+  link_front(s);
+  index_[{key.file, key.page}] = s;
+  try_merge_with_next(s);
 }
 
 bool PageCache::access(PageKey key) {
-  std::uint64_t slot = 0;
-  const std::uint32_t n = find(key, &slot);
+  const std::uint32_t n = covering(key.file, key.page);
   if (n == kNil) {
     ++misses_;
     return false;
   }
   ++hits_;
-  promote(n);
+  promote_page(n, key);
   return true;
 }
 
@@ -157,14 +163,16 @@ void PageCache::insert(PageKey key) {
   if (capacity_pages_ == 0) {
     return;
   }
-  maybe_grow();
-  std::uint64_t slot = 0;
-  const std::uint32_t n = find(key, &slot);
+  const std::uint32_t n = covering(key.file, key.page);
   if (n != kNil) {
-    promote(n);
+    promote_page(n, key);
     return;
   }
-  insert_new(key, slot);
+  link_single_front(key);
+  ++size_;
+  while (size_ > capacity_pages_) {
+    evict_lru();
+  }
 }
 
 std::uint64_t PageCache::access_range(std::uint64_t file, std::uint64_t offset,
@@ -174,25 +182,54 @@ std::uint64_t PageCache::access_range(std::uint64_t file, std::uint64_t offset,
   }
   const std::uint64_t first = offset / kPageSize;
   const std::uint64_t last = (offset + len - 1) / kPageSize;
+  if (capacity_pages_ == 0) {
+    // Caching disabled: nothing is ever resident, every page misses.
+    const std::uint64_t n = last - first + 1;
+    misses_ += n;
+    return n;
+  }
   std::uint64_t miss_count = 0;
-  for (std::uint64_t p = first; p <= last; ++p) {
-    const PageKey key{file, p};
-    if (capacity_pages_ != 0) {
-      maybe_grow();  // before find(): growth would invalidate the slot
-    }
-    std::uint64_t slot = 0;
-    const std::uint32_t n = find(key, &slot);
+  // The forming extent accumulates [first, cur) at the head as the walk
+  // transfers hit runs and inserts miss runs — exactly the state a per-page
+  // LRU reaches after promoting/inserting each page in ascending order.
+  const std::uint32_t forming = alloc_node();
+  nodes_[forming] = Node{file, first, first, kNil, kNil};
+  link_front(forming);
+  bool indexed = false;  // entered into index_ once non-empty
+  std::uint64_t cur = first;
+  while (cur <= last) {
+    const std::uint32_t n = covering(file, cur);
+    std::uint64_t seg_end;
     if (n != kNil) {
-      ++hits_;
-      promote(n);
-      continue;
+      seg_end = std::min(nodes_[n].end - 1, last);
+      hits_ += seg_end - cur + 1;
+      carve(n, cur, seg_end + 1);
+    } else {
+      seg_end = last;
+      const auto it = index_.upper_bound({file, cur});
+      if (it != index_.end() && it->first.first == file &&
+          it->first.second <= last) {
+        seg_end = it->first.second - 1;
+      }
+      const std::uint64_t n_miss = seg_end - cur + 1;
+      misses_ += n_miss;
+      miss_count += n_miss;
+      size_ += n_miss;
     }
-    ++misses_;
-    ++miss_count;
-    if (capacity_pages_ != 0) {
-      insert_new(key, slot);
+    nodes_[forming].end = seg_end + 1;
+    if (!indexed) {
+      index_[{file, nodes_[forming].start}] = forming;
+      indexed = true;
+    }
+    cur = seg_end + 1;
+    // Evicting after the whole run (not per page) removes the same LRU
+    // pages in the same order; the forming extent is never emptied because
+    // eviction stops at capacity >= 1 and it sits at the head.
+    while (size_ > capacity_pages_) {
+      evict_lru();
     }
   }
+  try_merge_with_next(forming);
   return miss_count;
 }
 
@@ -203,17 +240,19 @@ bool PageCache::resident(std::uint64_t file, std::uint64_t offset,
   }
   const std::uint64_t first = offset / kPageSize;
   const std::uint64_t last = (offset + len - 1) / kPageSize;
-  for (std::uint64_t p = first; p <= last; ++p) {
-    std::uint64_t slot = 0;
-    if (find(PageKey{file, p}, &slot) == kNil) {
+  std::uint64_t cur = first;
+  while (cur <= last) {
+    const std::uint32_t n = covering(file, cur);
+    if (n == kNil) {
       return false;
     }
+    cur = nodes_[n].end;
   }
   return true;
 }
 
 void PageCache::drop_caches() {
-  table_.assign(table_.size(), kNil);
+  index_.clear();
   nodes_.clear();
   free_.clear();
   head_ = kNil;

@@ -148,6 +148,116 @@ void Ksm::apply_run(const PageRun& run, bool add) {
   coalesce(lo, lo + count);
 }
 
+Ksm::ProbeDelta Ksm::probe_runs(const std::vector<PageRun>& runs) const {
+  constexpr PageDigest kMax = ~PageDigest{0};
+  ProbeDelta delta;
+  // Overlay of references this probe has "virtually" added, so
+  // self-overlapping runs see each other exactly as sequential apply_run
+  // calls would. Interval::refs counts probe-added references only.
+  std::map<PageDigest, Interval> overlay;
+  std::uint64_t probe_max_refs = 0;
+
+  // Add one virtual reference on [a, b), splitting the overlay like
+  // add_range splits the tree.
+  const auto overlay_add = [&overlay](PageDigest a, PageDigest b) {
+    auto it = overlay.upper_bound(a);
+    if (it != overlay.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > a) {
+        if (prev->first < a) {
+          const Interval tail{prev->second.end, prev->second.refs};
+          prev->second.end = a;
+          it = overlay.insert(it, {a, tail});
+        } else {
+          it = prev;
+        }
+        // The caller only adds within one uniform piece, so [a, b) cannot
+        // straddle an overlay boundary beyond a split at b.
+        if (it->second.end > b) {
+          const Interval tail{it->second.end, it->second.refs};
+          it->second.end = b;
+          overlay.insert(std::next(it), {b, tail});
+        }
+        ++it->second.refs;
+        return;
+      }
+    }
+    overlay.insert({a, Interval{b, 1}});
+  };
+
+  // Account one piece [cur, next) whose combined (tree + overlay) refcount
+  // before this reference is r — the same 0->1 / 1->2 / n->n+1 transitions
+  // add_range applies to the cached counters.
+  const auto account = [&delta](std::uint64_t r, PageDigest len) {
+    if (r == 0) {
+      delta.backing_delta += len;
+    } else if (r == 1) {
+      delta.shared_delta += 2 * len;
+    } else {
+      delta.shared_delta += len;
+    }
+  };
+
+  const auto probe_range = [&](PageDigest lo, PageDigest hi) {
+    PageDigest cur = lo;
+    while (cur < hi) {
+      // Existing refs and the next uniformity boundary from the tree.
+      std::uint64_t tree_refs = 0;
+      PageDigest boundary = hi;
+      auto it = tree_.upper_bound(cur);
+      if (it != tree_.begin()) {
+        const auto prev = std::prev(it);
+        if (prev->second.end > cur) {
+          tree_refs = prev->second.refs;
+          boundary = std::min(boundary, prev->second.end);
+        }
+      }
+      if (tree_refs == 0 && it != tree_.end()) {
+        boundary = std::min(boundary, it->first);
+      }
+      // Same from the overlay.
+      std::uint64_t ov_refs = 0;
+      auto ov = overlay.upper_bound(cur);
+      if (ov != overlay.begin()) {
+        const auto prev = std::prev(ov);
+        if (prev->second.end > cur) {
+          ov_refs = prev->second.refs;
+          boundary = std::min(boundary, prev->second.end);
+        }
+      }
+      if (ov_refs == 0 && ov != overlay.end()) {
+        boundary = std::min(boundary, ov->first);
+      }
+      account(tree_refs + ov_refs, boundary - cur);
+      overlay_add(cur, boundary);
+      cur = boundary;
+    }
+  };
+
+  for (const auto& run : runs) {
+    const PageDigest lo = run.base_digest;
+    const std::uint64_t count = run.count;
+    if (count == 0) {
+      continue;
+    }
+    if (count - 1 >= kMax - lo) {
+      // Mirror apply_run's 2^64-1 decomposition: [lo, kMax), the top
+      // digest itself, then the wrapped remainder.
+      const std::uint64_t below_max = kMax - lo;
+      probe_range(lo, kMax);
+      account(max_digest_refs_ + probe_max_refs, 1);
+      ++probe_max_refs;
+      const std::uint64_t rest = count - below_max - 1;
+      if (rest > 0) {
+        probe_range(0, rest);
+      }
+      continue;
+    }
+    probe_range(lo, lo + count);
+  }
+  return delta;
+}
+
 void Ksm::advise_runs(std::uint64_t vm_id, std::vector<PageRun> runs) {
   remove(vm_id);
   for (const auto& r : runs) {

@@ -39,9 +39,27 @@ struct PageRun {
 
 class Ksm {
  public:
+  /// What advising a run set would change, computed without mutating the
+  /// tree (see probe_runs).
+  struct ProbeDelta {
+    /// Additional backing (distinct) pages the runs would create.
+    std::uint64_t backing_delta = 0;
+    /// Additional cross-VM shared pages the runs would create.
+    std::uint64_t shared_delta = 0;
+  };
+
   /// Register (MADV_MERGEABLE) a VM's pages, one digest per page.
   /// Consecutive digests are coalesced into runs internally.
   void advise(std::uint64_t vm_id, const std::vector<PageDigest>& pages);
+
+  /// Read-only admission trial: the exact backing/shared-page delta that
+  /// advise_runs(new_vm, runs) followed by scan() would cause, without
+  /// touching the stable tree. Handles self-overlapping runs and the
+  /// digest 2^64-1 decomposition exactly like advise_runs (differential
+  /// test in tests/mem_test.cpp). The VM must not already be registered
+  /// (advise_runs on a registered VM first drops its old runs, which a
+  /// const probe cannot model).
+  ProbeDelta probe_runs(const std::vector<PageRun>& runs) const;
 
   /// Register a VM's pages as digest runs (the fleet-scale fast path).
   void advise_runs(std::uint64_t vm_id, std::vector<PageRun> runs);

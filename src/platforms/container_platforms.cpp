@@ -67,7 +67,7 @@ core::BootTimeline DockerPlatform::boot_timeline() const {
 
 void DockerPlatform::record_boot_trace(sim::Rng& rng) {
   sim::Clock scratch;
-  runtime_.boot(scratch, rng);
+  runtime_.record_boot(scratch, rng);
 }
 
 void DockerPlatform::record_workload(WorkloadClass w, sim::Rng& rng) {
@@ -96,7 +96,7 @@ core::BootTimeline LxcPlatform::boot_timeline() const {
 
 void LxcPlatform::record_boot_trace(sim::Rng& rng) {
   sim::Clock scratch;
-  runtime_.boot(scratch, rng);
+  runtime_.record_boot(scratch, rng);
 }
 
 void LxcPlatform::record_workload(WorkloadClass w, sim::Rng& rng) {

@@ -106,7 +106,7 @@ core::BootTimeline HypervisorPlatform::boot_timeline() const {
 
 void HypervisorPlatform::record_boot_trace(sim::Rng& rng) {
   sim::Clock scratch;
-  vm_.boot(scratch, rng);
+  vm_.record_boot(scratch, rng);
 }
 
 sim::Nanos HypervisorPlatform::sync_syscall_cost(sim::Rng& rng) const {

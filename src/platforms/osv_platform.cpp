@@ -73,7 +73,7 @@ core::BootTimeline OsvPlatform::boot_timeline() const {
 
 void OsvPlatform::record_boot_trace(sim::Rng& rng) {
   sim::Clock scratch;
-  vm_.boot(scratch, rng);
+  vm_.record_boot(scratch, rng);
 }
 
 sim::Nanos OsvPlatform::sync_syscall_cost(sim::Rng& rng) const {

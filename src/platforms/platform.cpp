@@ -63,6 +63,21 @@ core::BootResult Platform::boot(sim::Clock& clock, sim::Rng& rng) {
   return result;
 }
 
+const core::BootTimeline& Platform::cached_timeline() {
+  if (!timeline_cached_) {
+    timeline_cache_ = boot_timeline();
+    timeline_cached_ = true;
+  }
+  return timeline_cache_;
+}
+
+sim::Nanos Platform::boot_total(sim::Clock& clock, sim::Rng& rng) {
+  record_boot_trace(rng);
+  const sim::Nanos total = cached_timeline().sample_total(rng);
+  clock.advance(total);
+  return total;
+}
+
 sim::Nanos Platform::sync_syscall_cost(sim::Rng& rng) const {
   // Default: a direct host futex wake (native, containers).
   return host_->kernel().invoke(hostk::Syscall::kFutexWake, rng, 1);

@@ -83,6 +83,13 @@ class Platform {
   /// by the sampled end-to-end duration.
   core::BootResult boot(sim::Clock& clock, sim::Rng& rng);
 
+  /// boot() without the per-stage BootResult: the composed timeline is
+  /// cached after the first call (platform configurations are immutable
+  /// after construction) and only the total is sampled. Identical RNG
+  /// draw sequence and syscall trace to boot() — the fleet engine boots
+  /// thousands of tenants through this.
+  sim::Nanos boot_total(sim::Clock& clock, sim::Rng& rng);
+
   /// Record the host-kernel activity of running one unit of a workload
   /// class on this platform (ftrace must be started by the caller).
   virtual void record_workload(WorkloadClass w, sim::Rng& rng) = 0;
@@ -105,6 +112,8 @@ class Platform {
   hostk::HostKernel& kernel() { return host_->kernel(); }
 
  private:
+  const core::BootTimeline& cached_timeline();
+
   PlatformId id_;
   std::string name_;
   core::HostSystem* host_;
@@ -113,6 +122,8 @@ class Platform {
   mem::MemoryProfile memory_;
   std::unique_ptr<net::NetPath> net_;
   std::unique_ptr<storage::BlockPath> block_;
+  core::BootTimeline timeline_cache_;
+  bool timeline_cached_ = false;
 };
 
 }  // namespace platforms

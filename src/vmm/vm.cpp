@@ -26,7 +26,15 @@ core::BootTimeline Vm::boot_timeline() const {
   return t;
 }
 
-core::BootResult Vm::boot(sim::Clock& clock, sim::Rng& rng) {
+const core::BootTimeline& Vm::cached_timeline() const {
+  if (!timeline_cached_) {
+    timeline_cache_ = boot_timeline();
+    timeline_cached_ = true;
+  }
+  return timeline_cache_;
+}
+
+void Vm::record_setup_syscalls(sim::Rng& rng) {
   // Host-visible setup syscalls (trace-relevant; their CPU time is part of
   // the sampled stage durations, so they do not advance the clock here).
   host_->invoke(Syscall::kKvmCreateVm, rng);
@@ -44,11 +52,20 @@ core::BootResult Vm::boot(sim::Clock& clock, sim::Rng& rng) {
                 static_cast<std::uint64_t>(spec_.vcpus));
   // The boot itself: guest runs via KVM_RUN until init completes.
   host_->invoke(Syscall::kKvmRun, rng, 64);
+}
 
+core::BootResult Vm::boot(sim::Clock& clock, sim::Rng& rng) {
+  record_setup_syscalls(rng);
   const core::BootResult result = boot_timeline().run(rng);
   clock.advance(result.total);
   booted_ = true;
   return result;
+}
+
+void Vm::record_boot(sim::Clock& clock, sim::Rng& rng) {
+  record_setup_syscalls(rng);
+  clock.advance(cached_timeline().sample_total(rng));
+  booted_ = true;
 }
 
 void Vm::record_steady_state(std::uint64_t vm_exits, sim::Rng& rng) {

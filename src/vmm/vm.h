@@ -70,6 +70,12 @@ class Vm {
   /// issues the KVM setup syscalls against the host (visible to ftrace).
   core::BootResult boot(sim::Clock& clock, sim::Rng& rng);
 
+  /// boot() without the per-stage BootResult: identical syscall trace and
+  /// RNG draw sequence, but the composed timeline is cached (the spec is
+  /// immutable after construction) and only the total is sampled — the
+  /// fleet engine's per-boot fast path.
+  void record_boot(sim::Clock& clock, sim::Rng& rng);
+
   /// Memory profile the guest observes (Figures 6-8 inputs).
   const mem::MemoryProfile& memory_profile() const {
     return spec_.memory.profile;
@@ -83,9 +89,14 @@ class Vm {
   bool booted() const { return booted_; }
 
  private:
+  void record_setup_syscalls(sim::Rng& rng);
+  const core::BootTimeline& cached_timeline() const;
+
   VmmSpec spec_;
   hostk::HostKernel* host_;
   bool booted_ = false;
+  mutable core::BootTimeline timeline_cache_;
+  mutable bool timeline_cached_ = false;
 };
 
 }  // namespace vmm

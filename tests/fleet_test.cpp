@@ -215,4 +215,99 @@ TEST(FleetDeterminismTest, ReportExposesBootCdfs) {
   }
 }
 
+// --- Density-latch arrival short-circuit ----------------------------------
+
+/// Golden for a density sweep whose stop_at_first_oom latch trips mid-run,
+/// captured from the pre-PR-5 engine (commit d1d449a), which still paid one
+/// queue event per post-latch arrival. The lazily-seeded engine must
+/// produce byte-identical report text (admitted/rejected counts, makespan
+/// ending at the last arrival, every table row) while the bulk-rejected
+/// tail no longer costs per-tenant events.
+constexpr const char* kLatchedDensitySweep =
+    R"GOLD(scenario: density-sweep (seed 17433000876150095873)
+tenants: 197 admitted, 203 rejected, 197 completed; peak active 197
+makespan: 3614.06 ms; peak CPU demand 3.08x host threads; peak resident 255.6 GiB
+density wall: tenant 197 was the first to not fit in host RAM
+ksm: 201728 pages advised -> 119080 backing (gain 1.69x, 41.2% cross-tenant shared)
+host page cache: 6389760 hits, 65536 misses; nvme read 256.0 MiB
+fleet HAP: 290 distinct host fns, 4385480 invocations, extended HAP 32.71
+
+platform     tenants  boot p50 (ms)  boot p90 (ms)  boot p99 (ms)  phase p50 (ms)
+---------------------------------------------------------------------------------
+firecracker  89       544.54         970.40         1160.96        840.38        
+qemu-kvm     108      409.33         737.33         838.65         781.12        
+)GOLD";
+
+Scenario latched_density_sweep() {
+  auto sweep = Scenario::density_sweep(400);
+  // Arrivals must outpace teardowns or the density wall is never reached.
+  sweep.arrival_window = sim::millis(250);
+  return sweep;
+}
+
+TEST(FleetLatchTest, LatchedSweepReportMatchesEagerEngine) {
+  const auto report = run_fresh(latched_density_sweep());
+  EXPECT_EQ(report.to_text(), kLatchedDensitySweep);
+}
+
+TEST(FleetLatchTest, PostLatchArrivalsStopPayingEventCost) {
+  const auto report = run_fresh(latched_density_sweep());
+  EXPECT_EQ(report.admitted, 197);
+  EXPECT_EQ(report.rejected, 203);
+  // The eager engine processed 1188 events here (one per post-latch
+  // arrival); the bulk-rejected tail must not scale events with the
+  // tenant count. 197 admitted * 5 lifecycle events + the walk-rejected
+  // arrivals before the latch tripped.
+  EXPECT_EQ(report.events_processed, 986u);
+  // Scaling the tenant count only grows the bulk-rejected tail: admitted
+  // and events stay flat while rejected absorbs the growth.
+  auto bigger = latched_density_sweep();
+  bigger.tenant_count = 800;
+  const auto big = run_fresh(bigger);
+  EXPECT_EQ(big.admitted, 197);
+  EXPECT_EQ(big.events_processed, 986u);
+  EXPECT_EQ(big.rejected, 603);
+}
+
+// --- Boot SLO verdict -----------------------------------------------------
+
+TEST(FleetSloTest, VerdictLineGatedOnBudget) {
+  const auto s = Scenario::coldstart_storm(32);
+  const auto without = run_fresh(s);
+  EXPECT_EQ(without.boot_slo_ms, 0);
+  EXPECT_EQ(without.to_text().find("boot SLO"), std::string::npos);
+
+  auto with_budget = s;
+  with_budget.boot_slo_ms = sim::millis(400);
+  const auto with = run_fresh(with_budget);
+  EXPECT_NE(with.to_text().find("boot SLO"), std::string::npos);
+  // The verdict line is the only difference: removing it restores the
+  // budget-less rendering byte for byte.
+  std::string text = with.to_text();
+  const auto pos = text.find("boot SLO");
+  const auto eol = text.find('\n', pos);
+  text.erase(pos, eol - pos + 1);
+  EXPECT_EQ(text, without.to_text());
+}
+
+TEST(FleetSloTest, FractionCountsBootsWithinBudget) {
+  auto s = Scenario::coldstart_storm(32);
+  s.boot_slo_ms = sim::millis(400);
+  const auto report = run_fresh(s);
+  const double fraction = report.boot_slo_fraction();
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LT(fraction, 1.0);  // firecracker's boots blow a 400 ms budget
+  // Cross-check against the retained samples.
+  int within = 0;
+  for (const double ms : report.cluster_boot_ms.values()) {
+    within += ms <= 400.0 ? 1 : 0;
+  }
+  EXPECT_DOUBLE_EQ(fraction, static_cast<double>(within) /
+                                 static_cast<double>(
+                                     report.cluster_boot_ms.size()));
+  // A generous budget puts every boot inside it.
+  s.boot_slo_ms = sim::seconds(3600);
+  EXPECT_DOUBLE_EQ(run_fresh(s).boot_slo_fraction(), 1.0);
+}
+
 }  // namespace

@@ -307,6 +307,112 @@ TEST(KsmTest, TopDigestIsTrackedLikeAnyOther) {
   EXPECT_EQ(ksm.stable_tree_intervals(), 0u);
 }
 
+// --- probe_runs: read-only admission trials -------------------------------
+
+/// The probe contract: probe_runs(runs) predicts exactly what
+/// advise_runs(new_vm, runs) + scan() changes, and removing the VM again
+/// restores the pre-probe state — all observed through the public
+/// counters. Requires the tree to be in its scanned state so
+/// backing_pages() reads distinct pages on both sides of the comparison.
+void expect_probe_matches_mutation(Ksm& ksm,
+                                   const std::vector<mem::PageRun>& runs,
+                                   std::uint64_t vm_id) {
+  ksm.scan();
+  const std::uint64_t backing_before = ksm.backing_pages();
+  const std::uint64_t shared_before = ksm.shared_pages();
+  const std::uint64_t advised_before = ksm.advised_pages();
+
+  const Ksm::ProbeDelta delta = ksm.probe_runs(runs);
+  // const probe: nothing observable moved.
+  ASSERT_EQ(ksm.backing_pages(), backing_before);
+  ASSERT_EQ(ksm.shared_pages(), shared_before);
+  ASSERT_EQ(ksm.advised_pages(), advised_before);
+
+  ksm.advise_runs(vm_id, runs);
+  ksm.scan();
+  ASSERT_EQ(ksm.backing_pages(), backing_before + delta.backing_delta);
+  ASSERT_EQ(ksm.shared_pages(), shared_before + delta.shared_delta);
+
+  ksm.remove(vm_id);
+  ksm.scan();
+  ASSERT_EQ(ksm.backing_pages(), backing_before);
+  ASSERT_EQ(ksm.shared_pages(), shared_before);
+  ASSERT_EQ(ksm.advised_pages(), advised_before);
+}
+
+TEST(KsmProbeTest, EmptyTreeAndEmptyRuns) {
+  Ksm ksm;
+  const auto none = ksm.probe_runs({});
+  EXPECT_EQ(none.backing_delta, 0u);
+  EXPECT_EQ(none.shared_delta, 0u);
+  const auto first = ksm.probe_runs({{100, 10}});
+  EXPECT_EQ(first.backing_delta, 10u);
+  EXPECT_EQ(first.shared_delta, 0u);
+  expect_probe_matches_mutation(ksm, {{100, 10}, {0, 0}}, 1);
+}
+
+TEST(KsmProbeTest, OverlapAndSelfOverlap) {
+  Ksm ksm;
+  ksm.advise_runs(1, {{0, 50}, {200, 25}});
+  // Overlaps the tree, a fresh range, and itself (the duplicated {10, 20}
+  // must count as a second reference, exactly like advise_runs applying
+  // the runs in order).
+  expect_probe_matches_mutation(
+      ksm, {{10, 20}, {40, 200}, {10, 20}, {500, 5}}, 2);
+}
+
+TEST(KsmProbeTest, TopDigestDecomposition) {
+  constexpr mem::PageDigest kMax = ~mem::PageDigest{0};
+  Ksm ksm;
+  ksm.advise_runs(1, {{kMax - 10, 11}});  // reaches digest 2^64-1
+  ksm.advise_runs(2, {{0, 7}});
+  // A run that hits the top digest and wraps onto [0, ...): the probe must
+  // mirror apply_run's decomposition (range below max, the max digest's
+  // dedicated refcount, the wrapped remainder).
+  expect_probe_matches_mutation(ksm, {{kMax - 4, 12}}, 3);
+  expect_probe_matches_mutation(ksm, {{kMax, 1}}, 4);
+}
+
+TEST(KsmProbeTest, RandomizedDifferentialAgainstMutateRollback) {
+  sim::Rng rng(0x9D0BE5EEDull);
+  for (int round = 0; round < 40; ++round) {
+    Ksm ksm;
+    // Seed the tree with a handful of resident VMs over a small digest
+    // space so probes collide with existing intervals constantly.
+    const int resident = 1 + static_cast<int>(rng.next_u64() % 4);
+    for (int vm = 0; vm < resident; ++vm) {
+      std::vector<mem::PageRun> runs;
+      const int n = 1 + static_cast<int>(rng.next_u64() % 4);
+      for (int r = 0; r < n; ++r) {
+        runs.push_back({rng.next_u64() % 128, rng.next_u64() % 64});
+      }
+      ksm.advise_runs(static_cast<std::uint64_t>(vm), std::move(runs));
+    }
+    // Probe an arbitrary run set, including occasional top-digest runs.
+    std::vector<mem::PageRun> probe;
+    const int n = 1 + static_cast<int>(rng.next_u64() % 5);
+    for (int r = 0; r < n; ++r) {
+      if (rng.chance(0.2)) {
+        constexpr mem::PageDigest kMax = ~mem::PageDigest{0};
+        probe.push_back({kMax - (rng.next_u64() % 8),
+                         1 + rng.next_u64() % 16});
+      } else {
+        probe.push_back({rng.next_u64() % 128, rng.next_u64() % 64});
+      }
+    }
+    expect_probe_matches_mutation(ksm, probe, 1000);
+  }
+}
+
+TEST(KsmProbeTest, ProbeLeavesTreeShapeUntouched) {
+  Ksm ksm;
+  ksm.advise_runs(1, {{0, 32}, {64, 32}});
+  ksm.scan();
+  const std::size_t intervals = ksm.stable_tree_intervals();
+  (void)ksm.probe_runs({{16, 64}, {200, 10}});
+  EXPECT_EQ(ksm.stable_tree_intervals(), intervals);
+}
+
 TEST(KsmTest, DuplicateRunsWithinOneClientCountTwice) {
   // A client advising the same digest range twice holds two references,
   // exactly like the per-page model advising duplicate digests.

@@ -3,17 +3,22 @@
 
 Compares a freshly generated BENCH_fleet_scale.json against the committed
 copy and fails when any run at the gated tenant count regressed by more
-than --max-ratio in wall-clock. The threshold is deliberately tolerant
-(shared CI runners are noisy); it exists to catch "something went quadratic
-again", not single-digit-percent drift. Event counts are deterministic per
-(scenario, seed), so a changed event count is reported too — that is a
-behavior change, not noise, but it only warns here because the golden tests
-already pin behavior.
+than --max-ratio in wall-clock, or when its events_per_sec throughput fell
+below 1/--max-ratio of the committed value (the floor catches "each event
+got slower" even when a run also processes fewer events). The threshold is
+deliberately tolerant (shared CI runners are noisy); it exists to catch
+"something went quadratic again", not single-digit-percent drift. Event
+counts are deterministic per (scenario, seed), so a changed event count is
+reported too — that is a behavior change, not noise, but it only warns
+here because the golden tests already pin behavior.
 
-When both files carry a "cluster" block for the same (hosts, tenants)
-configuration, each placement policy's wall-clock is gated with the same
-ratio, so regressions isolated to the cluster path (placement, per-shard
-accounting) are caught too, not just the single-host engine. Likewise for
+Cluster sweeps are gated per configuration: schema_version 4 carries a
+"clusters" list (e.g. the 10k-tenant/4-host storm and the 100k-tenant/
+64-host storm), schema_version 3 a single "cluster" object — both shapes
+are accepted on either side. Every committed configuration that has a
+matching fresh (hosts, tenants) block is gated per policy on wall-clock
+and the events_per_sec floor; a fresh file with no cluster blocks at all
+fails loudly, while a shape-mismatched local run only warns. Likewise for
 the "autoscale" block (fleet_scale --autoscale): the autoscaled storm's
 wall-clock is gated at the committed (hosts, max_hosts, tenants)
 configuration, and changed event counts / admission totals are reported
@@ -49,48 +54,81 @@ def runs_at(doc, tenants):
     }
 
 
-def check_cluster(fresh_doc, committed_doc, max_ratio):
-    """Gate the per-policy cluster sweep; returns True on failure."""
-    base = committed_doc.get("cluster")
-    fresh = fresh_doc.get("cluster")
-    if base is None:
-        return False  # nothing committed to gate against
-    if fresh is None:
-        print("  cluster sweep     MISSING from fresh results")
-        return True
-    config = (base.get("hosts"), base.get("tenants"))
-    if (fresh.get("hosts"), fresh.get("tenants")) != config:
-        # A different-shaped local run (e.g. --tenants 500 --hosts 2) is not
-        # comparable; warn without failing. CI pins the matching
-        # configuration, so there this branch never triggers.
-        print(f"  cluster sweep     config mismatch: committed "
-              f"hosts={base.get('hosts')} tenants={base.get('tenants')}, "
-              f"fresh hosts={fresh.get('hosts')} "
-              f"tenants={fresh.get('tenants')} -- skipped, not gated")
+def throughput_floor_failed(label, base_run, fresh_run, max_ratio):
+    """events_per_sec floor: fresh must stay above committed / max_ratio.
+    Returns True on failure; silently passes when either side lacks the
+    field (schema_version < 4 inputs)."""
+    base_eps = base_run.get("events_per_sec")
+    fresh_eps = fresh_run.get("events_per_sec")
+    if not base_eps or fresh_eps is None:
         return False
+    floor = base_eps / max_ratio
+    if fresh_eps >= floor:
+        return False
+    print(f"  {label:<18} THROUGHPUT REGRESSION: events/sec "
+          f"{base_eps:.0f} -> {fresh_eps:.0f} "
+          f"(floor {floor:.0f} at {max_ratio:.1f}x)")
+    return True
+
+
+def cluster_blocks(doc):
+    """Cluster sweep blocks from either schema: v4 "clusters" list or the
+    v3 single "cluster" object."""
+    blocks = doc.get("clusters")
+    if blocks is None:
+        single = doc.get("cluster")
+        blocks = [single] if single is not None else []
+    return blocks
+
+
+def check_clusters(fresh_doc, committed_doc, max_ratio):
+    """Gate every committed cluster sweep config; returns True on failure."""
+    base_blocks = cluster_blocks(committed_doc)
+    if not base_blocks:
+        return False  # nothing committed to gate against
+    fresh_blocks = cluster_blocks(fresh_doc)
+    if not fresh_blocks:
+        print("  cluster sweeps    MISSING from fresh results")
+        return True
+    fresh_by_config = {(b.get("hosts"), b.get("tenants")): b
+                       for b in fresh_blocks}
     failed = False
-    print(f"cluster sweep at {config[1]} tenants across {config[0]} hosts:")
-    fresh_runs = {r["policy"]: r for r in fresh.get("runs", [])}
-    for run in base.get("runs", []):
-        policy = run["policy"]
-        fresh_run = fresh_runs.get(policy)
-        if fresh_run is None:
-            print(f"  {policy:<18} MISSING from fresh results")
-            failed = True
+    for base in base_blocks:
+        config = (base.get("hosts"), base.get("tenants"))
+        fresh = fresh_by_config.get(config)
+        if fresh is None:
+            # A different-shaped local run (e.g. --tenants 500 --hosts 2) is
+            # not comparable; warn without failing. CI pins the matching
+            # configurations, so there this branch never triggers.
+            print(f"  cluster sweep     no fresh block for committed "
+                  f"hosts={config[0]} tenants={config[1]} -- skipped, "
+                  f"not gated")
             continue
-        ratio = (fresh_run["wall_ms"] / run["wall_ms"]
-                 if run["wall_ms"] > 0 else 0.0)
-        verdict = "ok" if ratio <= max_ratio else "REGRESSION"
-        print(f"  {policy:<18} committed {run['wall_ms']:8.1f} ms   "
-              f"fresh {fresh_run['wall_ms']:8.1f} ms   ratio {ratio:4.2f}x   "
-              f"{verdict}")
-        if ratio > max_ratio:
-            failed = True
-        if fresh_run.get("events") != run.get("events"):
-            print(f"  {policy:<18} note: event count changed "
-                  f"{run.get('events')} -> {fresh_run.get('events')} "
-                  f"(cluster behavior change — single-host goldens do not "
-                  f"cover this)")
+        print(f"cluster sweep at {config[1]} tenants across "
+              f"{config[0]} hosts:")
+        fresh_runs = {r["policy"]: r for r in fresh.get("runs", [])}
+        for run in base.get("runs", []):
+            policy = run["policy"]
+            fresh_run = fresh_runs.get(policy)
+            if fresh_run is None:
+                print(f"  {policy:<18} MISSING from fresh results")
+                failed = True
+                continue
+            ratio = (fresh_run["wall_ms"] / run["wall_ms"]
+                     if run["wall_ms"] > 0 else 0.0)
+            verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+            print(f"  {policy:<18} committed {run['wall_ms']:8.1f} ms   "
+                  f"fresh {fresh_run['wall_ms']:8.1f} ms   "
+                  f"ratio {ratio:4.2f}x   {verdict}")
+            if ratio > max_ratio:
+                failed = True
+            if throughput_floor_failed(policy, run, fresh_run, max_ratio):
+                failed = True
+            if fresh_run.get("events") != run.get("events"):
+                print(f"  {policy:<18} note: event count changed "
+                      f"{run.get('events')} -> {fresh_run.get('events')} "
+                      f"(cluster behavior change — single-host goldens do "
+                      f"not cover this)")
     return failed
 
 
@@ -169,11 +207,13 @@ def main():
               f"{verdict}")
         if ratio > args.max_ratio:
             failed = True
+        if throughput_floor_failed(scenario, base, run, args.max_ratio):
+            failed = True
         if run.get("events") != base.get("events"):
             print(f"  {scenario:<18} note: event count changed "
                   f"{base.get('events')} -> {run.get('events')} "
                   f"(behavior change, pinned elsewhere)")
-    if check_cluster(fresh_doc, committed_doc, args.max_ratio):
+    if check_clusters(fresh_doc, committed_doc, args.max_ratio):
         failed = True
     if check_autoscale(fresh_doc, committed_doc, args.max_ratio):
         failed = True
