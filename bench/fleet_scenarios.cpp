@@ -7,7 +7,14 @@
 // steady-state mixed-platform fleet — each against a fresh HostSystem so
 // output is byte-identical for identical seeds, then shards the storm
 // across a 4-host fleet::Cluster under every placement policy.
+//
+// --threads N runs the cluster and autoscale sections through the
+// engine's parallel execution mode. Output is byte-identical at every
+// thread count — CI's determinism job diffs this harness across
+// --threads 1/2/8.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -33,7 +40,21 @@ void print_report(const fleet::FleetReport& report) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::fprintf(stderr, "fleet_scenarios: --threads must be >= 1\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: fleet_scenarios [--threads N]\n");
+      return 2;
+    }
+  }
+
   benchutil::print_header(
       "fleet scenarios",
       "Multi-tenant consolidation on one shared host: cold-start storm,\n"
@@ -84,7 +105,8 @@ int main() {
   // engine mechanism decides what everything costs.
   bool exported_cluster_cdf = false;
   for (const auto kind : fleet::all_placement_kinds()) {
-    const auto cluster_scenario = fleet::Scenario::cluster_storm(128, 4, kind);
+    auto cluster_scenario = fleet::Scenario::cluster_storm(128, 4, kind);
+    cluster_scenario.threads = threads;
     fleet::Cluster cluster(cluster_scenario.cluster);
     const auto report = cluster.run(cluster_scenario);
     std::printf("--- %s across %d hosts, placement %s ---\n",
@@ -105,6 +127,7 @@ int main() {
   // storm subsides, re-placing drained tenants through placement +
   // admission. Deterministic like everything else here.
   auto scaled = fleet::Scenario::autoscale_storm(192, 2, 4);
+  scaled.threads = threads;
   scaled.guest_ram_bytes = 2048ull << 20;
   scaled.cluster.ram_bytes = 24ull << 30;
   auto fixed = scaled;

@@ -1,0 +1,29 @@
+// Shared demand-model constants for the fleet engine's event handlers,
+// split out so the sequential loop (engine.cpp) and the parallel worker
+// path (engine_parallel.cpp) charge byte-identical vCPU demand.
+#pragma once
+
+#include "platforms/platform.h"
+
+namespace fleet::demand {
+
+/// vCPUs a tenant demands while booting.
+constexpr double kBootVcpus = 2.0;
+
+/// vCPUs one in-flight workload phase demands, per class.
+inline double workload_vcpus(platforms::WorkloadClass w) {
+  switch (w) {
+    case platforms::WorkloadClass::kCpu:
+      return 2.0;
+    case platforms::WorkloadClass::kMemory:
+      return 1.0;
+    case platforms::WorkloadClass::kIo:
+    case platforms::WorkloadClass::kNetwork:
+      return 0.5;
+    case platforms::WorkloadClass::kStartup:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace fleet::demand

@@ -4,12 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fleet/demand.h"
+
 namespace fleet {
 
 namespace {
 
 using platforms::PlatformId;
 using platforms::WorkloadClass;
+
+using demand::kBootVcpus;
+using demand::workload_vcpus;
 
 /// KSM granularity for fleet guest RAM: 2 MiB (THP-sized) units keep the
 /// stable tree small enough to rescan on every admission decision.
@@ -18,24 +23,6 @@ constexpr std::uint64_t kFleetPageBytes = 2ull << 20;
 /// Fraction of a guest's RAM that stays untouched (zero pages) and merges
 /// across every tenant once KSM scans it.
 constexpr double kZeroPageFraction = 0.35;
-
-/// vCPUs a tenant demands while booting / per workload class.
-constexpr double kBootVcpus = 2.0;
-
-double workload_vcpus(WorkloadClass w) {
-  switch (w) {
-    case WorkloadClass::kCpu:
-      return 2.0;
-    case WorkloadClass::kMemory:
-      return 1.0;
-    case WorkloadClass::kIo:
-    case WorkloadClass::kNetwork:
-      return 0.5;
-    case WorkloadClass::kStartup:
-      return 1.0;
-  }
-  return 1.0;
-}
 
 /// Host RSS of the virtualization layer itself (device model, Sentry, ...).
 std::uint64_t platform_overhead_bytes(PlatformId id) {
@@ -143,12 +130,7 @@ double FleetEngine::Shard::cpu_factor() const {
   return std::max(1.0, cpu_demand / threads);
 }
 
-void FleetEngine::note_peaks(Shard& sh) {
-  report_.peak_active = std::max(report_.peak_active, active_);
-  report_.peak_cpu_demand = std::max(
-      report_.peak_cpu_demand,
-      sh.cpu_demand / static_cast<double>(sh.host->spec().cpu_threads));
-
+void FleetEngine::note_shard_peaks(Shard& sh) {
   sh.rollup.peak_active = std::max(sh.rollup.peak_active, sh.active);
   const std::uint64_t shard_resident = sh.resident_bytes();
   if (shard_resident >= sh.rollup.peak_resident_bytes) {
@@ -159,36 +141,68 @@ void FleetEngine::note_peaks(Shard& sh) {
     sh.rollup.ksm.density_gain = sh.ksm.density_gain();
     sh.rollup.ksm.shared_fraction = sh.ksm.shared_fraction();
   }
+}
 
-  std::uint64_t resident = 0;
-  for (const Shard& s : shards_) {
-    resident += s.resident_bytes();
-  }
-  if (resident >= report_.peak_resident_bytes) {
-    report_.peak_resident_bytes = resident;
-    // Snapshot density at the high-water mark; teardowns later drain the
-    // stable trees, so end-of-run numbers would always read empty.
+void FleetEngine::note_peaks(Shard& sh) {
+  report_.peak_active = std::max(report_.peak_active, active_);
+  report_.peak_cpu_demand = std::max(
+      report_.peak_cpu_demand,
+      sh.cpu_demand / static_cast<double>(sh.host->spec().cpu_threads));
+
+  note_shard_peaks(sh);
+
+  if (peak_audit_) {
+    // Summed reference form the incremental counters replaced; any drift
+    // between the two is a bookkeeping bug, latched for the test to see.
+    std::uint64_t resident = 0;
     std::uint64_t advised = 0;
     std::uint64_t backing = 0;
     std::uint64_t shared = 0;
     for (const Shard& s : shards_) {
+      resident += s.resident_bytes();
       advised += s.ksm.advised_pages();
       backing += s.ksm.backing_pages();
       shared += s.ksm.shared_pages();
     }
-    report_.ksm.advised_pages = advised;
-    report_.ksm.backing_pages = backing;
-    report_.ksm.shared_pages = shared;
+    if (resident != fleet_resident_ || advised != fleet_ksm_advised_ ||
+        backing != fleet_ksm_backing_ || shared != fleet_ksm_shared_) {
+      peak_audit_failed_ = true;
+    }
+  }
+  if (fleet_resident_ >= report_.peak_resident_bytes) {
+    report_.peak_resident_bytes = fleet_resident_;
+    // Snapshot density at the high-water mark; teardowns later drain the
+    // stable trees, so end-of-run numbers would always read empty.
+    report_.ksm.advised_pages = fleet_ksm_advised_;
+    report_.ksm.backing_pages = fleet_ksm_backing_;
+    report_.ksm.shared_pages = fleet_ksm_shared_;
     report_.ksm.density_gain =
-        backing == 0 ? 1.0
-                     : static_cast<double>(advised) / static_cast<double>(backing);
+        fleet_ksm_backing_ == 0
+            ? 1.0
+            : static_cast<double>(fleet_ksm_advised_) /
+                  static_cast<double>(fleet_ksm_backing_);
     report_.ksm.shared_fraction =
-        advised == 0 ? 0.0
-                     : static_cast<double>(shared) / static_cast<double>(advised);
+        fleet_ksm_advised_ == 0
+            ? 0.0
+            : static_cast<double>(fleet_ksm_shared_) /
+                  static_cast<double>(fleet_ksm_advised_);
   }
 }
 
+FleetEngine::FleetDelta FleetEngine::fleet_before(const Shard& sh) const {
+  return {sh.resident_bytes(), sh.ksm.advised_pages(), sh.ksm.backing_pages(),
+          sh.ksm.shared_pages()};
+}
+
+void FleetEngine::fleet_apply(const Shard& sh, const FleetDelta& before) {
+  fleet_resident_ += sh.resident_bytes() - before.resident;
+  fleet_ksm_advised_ += sh.ksm.advised_pages() - before.advised;
+  fleet_ksm_backing_ += sh.ksm.backing_pages() - before.backing;
+  fleet_ksm_shared_ += sh.ksm.shared_pages() - before.shared;
+}
+
 bool FleetEngine::admit(Shard& sh, Tenant& t, const Scenario& s) {
+  const FleetDelta before = fleet_before(sh);
   const std::uint64_t overhead = platform_overhead_bytes(t.platform_id);
   if (is_hypervisor_backed(t.platform_id) && s.enable_ksm) {
     // Fast-fail before the probe: advising only ever adds backing pages,
@@ -224,6 +238,7 @@ bool FleetEngine::admit(Shard& sh, Tenant& t, const Scenario& s) {
     }
   }
   sh.non_ksm_resident += t.resident_bytes;
+  fleet_apply(sh, before);
   return true;
 }
 
@@ -365,7 +380,22 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
 
   // Boot: the platform's sampled end-to-end sequence plus pulling the boot
   // image through the shard's host page cache, both stretched by CPU
-  // contention across that host's fleet share.
+  // contention across that host's fleet share. Runs that can shard defer
+  // the physics to a kBootPhys event at the same instant: the contention
+  // factor is captured here (placement-visible state), but the sampling
+  // and cache/NVMe charges are shard-local, so the parallel loop can run
+  // them on the shard's worker instead of the coordinator.
+  if (deferred_boot_) {
+    t.boot_factor = sh.cpu_factor();
+    queue_.push(t.clock.now(), t.id, EventKind::kBootPhys, t.epoch);
+    return;
+  }
+  const sim::Nanos done = boot_physics(sh, t, s, sh.cpu_factor());
+  queue_.push(done, t.id, EventKind::kBootDone, t.epoch);
+}
+
+sim::Nanos FleetEngine::boot_physics(Shard& sh, Tenant& t, const Scenario& s,
+                                     double factor) {
   const sim::Nanos arrival = t.clock.now();
   t.platform->boot_total(t.clock, t.rng);
   const sim::Nanos boot_ns = t.clock.now() - arrival;
@@ -381,11 +411,23 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
     image_ns = sim::micros(50);  // fully cache-resident image
   }
 
-  const auto total = static_cast<sim::Nanos>(
-      static_cast<double>(boot_ns + image_ns) * sh.cpu_factor());
+  // Floor the boot at the cache-resident image cost. It never binds (the
+  // image term alone is >= 50us in both branches), but it turns "boots are
+  // never instantaneous" into a provable invariant the parallel loop's
+  // harvest horizon leans on: a kBootPhys issued at time T cannot produce a
+  // kBootDone before T + kBootFloorNs.
+  const auto total = std::max<sim::Nanos>(
+      kBootFloorNs, static_cast<sim::Nanos>(
+                        static_cast<double>(boot_ns + image_ns) * factor));
   t.clock.advance_to(arrival + total);
   t.outcome.boot_latency = total;
-  queue_.push(arrival + total, t.id, EventKind::kBootDone, t.epoch);
+  return arrival + total;
+}
+
+void FleetEngine::handle_boot_phys(Tenant& t, const Scenario& s) {
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+  const sim::Nanos done = boot_physics(sh, t, s, t.boot_factor);
+  queue_.push(done, t.id, EventKind::kBootDone, t.epoch);
 }
 
 void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
@@ -457,7 +499,7 @@ void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
   queue_.push(t.clock.now(), t.id, EventKind::kTeardown, t.epoch);
 }
 
-void FleetEngine::release_tenant(Shard& sh, Tenant& t) {
+void FleetEngine::release_core(Shard& sh, Tenant& t) {
   switch (t.in_flight) {
     case Tenant::InFlight::kBoot:
       sh.cpu_demand -= kBootVcpus;
@@ -481,11 +523,17 @@ void FleetEngine::release_tenant(Shard& sh, Tenant& t) {
   }
   sh.non_ksm_resident -= t.resident_bytes;
   t.resident_bytes = 0;
-  --active_;
   --sh.active;
   --sh.tenants_by_platform[t.platform_id];
-  notify_platform_count(sh, t.platform_id);
   t.holds_resources = false;
+}
+
+void FleetEngine::release_tenant(Shard& sh, Tenant& t) {
+  const FleetDelta before = fleet_before(sh);
+  release_core(sh, t);
+  --active_;
+  notify_platform_count(sh, t.platform_id);
+  fleet_apply(sh, before);
 }
 
 void FleetEngine::publish_host(Shard& sh) {
@@ -764,6 +812,89 @@ void FleetEngine::init_shard(Shard& sh, int index, const Scenario& s) {
   }
 }
 
+void FleetEngine::process_event(const Event& e, const Scenario& s,
+                                const std::vector<sim::Nanos>& arrivals,
+                                sim::Nanos& last_event) {
+  ++report_.events_processed;
+  global_clock_.advance_to(e.time);
+  if (e.kind == EventKind::kHostEvent) {
+    handle_host_event(e, s);
+    return;
+  }
+  if (e.kind == EventKind::kAutoscaleEval) {
+    handle_autoscale_eval(e.time, s);
+    return;
+  }
+  Tenant& t = tenants_[e.tenant];
+  if (e.epoch != t.epoch) {
+    return;  // canceled by a drain migration; superseded lifecycle
+  }
+  last_event = e.time;  // makespan tracks tenant activity, not evals
+  switch (e.kind) {
+    case EventKind::kArrival:
+      handle_arrival(t, s);
+      break;
+    case EventKind::kBootPhys:
+      handle_boot_phys(t, s);
+      break;
+    case EventKind::kBootDone:
+      handle_boot_done(t, s);
+      break;
+    case EventKind::kPhaseDone:
+      handle_phase_done(t, s);
+      break;
+    case EventKind::kTeardown:
+      handle_teardown(t, s);
+      break;
+    case EventKind::kHostEvent:
+    case EventKind::kAutoscaleEval:
+      break;  // handled above
+  }
+  if (incremental_placement_) {
+    // One state push for the shard this event touched. A rejected
+    // arrival changed nothing, so re-publishing the tenant's previous
+    // shard is a harmless (and cheap) no-op upsert.
+    publish_host(shards_[static_cast<std::size_t>(t.host)]);
+  }
+  if (e.kind == EventKind::kArrival &&
+      e.tenant == static_cast<std::uint64_t>(arrival_cursor_)) {
+    // That was the cursor tenant's initial arrival (re-arrivals always
+    // carry a smaller id): seed the next one — or, once the density
+    // latch has tripped, reject the whole unseeded tail in bulk. Each
+    // of those arrivals would have been one queue round-trip ending in
+    // the pre-placement latch check; the outcome (admitted = false, one
+    // fleet-level rejection, no host consulted) is identical, only the
+    // per-tenant event cost disappears.
+    ++arrival_cursor_;
+    if (arrival_cursor_ < s.tenant_count) {
+      if (s.stop_at_first_oom && report_.first_oom_tenant >= 0) {
+        for (int i = arrival_cursor_; i < s.tenant_count; ++i) {
+          tenants_[static_cast<std::size_t>(i)].outcome.admitted = false;
+          ++report_.rejected;
+        }
+        latched_tail_ = true;
+        latched_tail_time_ = arrivals.back();
+        arrival_cursor_ = s.tenant_count;
+      } else {
+        queue_.push_at_seq(
+            arrivals[static_cast<std::size_t>(arrival_cursor_)],
+            arrival_seq_base_ + static_cast<std::uint64_t>(arrival_cursor_),
+            static_cast<std::uint64_t>(arrival_cursor_),
+            EventKind::kArrival);
+      }
+    }
+  }
+}
+
+bool FleetEngine::use_parallel(const Scenario& s) const {
+  // Parallelism is across shards; a single fixed host has nothing to fan
+  // out. Churn with a non-positive gap would make the conservative window
+  // (bounded by churn_gap ahead of the earliest possible re-arrival)
+  // empty, so such runs stay sequential.
+  return s.threads > 1 && shards_.size() > 1 &&
+         !(s.churn_rounds > 0 && s.churn_gap <= 0);
+}
+
 FleetReport FleetEngine::run(const Scenario& s) {
   if (s.platform_mix.empty() || s.workload_mix.empty()) {
     throw std::invalid_argument(
@@ -796,8 +927,20 @@ FleetReport FleetEngine::run(const Scenario& s) {
   active_ = 0;
   last_scale_ = 0;
   has_scaled_ = false;
+  fleet_resident_ = 0;
+  fleet_ksm_advised_ = 0;
+  fleet_ksm_backing_ = 0;
+  fleet_ksm_shared_ = 0;
+  peak_audit_failed_ = false;
   latched_tail_ = false;
   latched_tail_time_ = 0;
+  // Runs that can shard (now or mid-run) defer boot physics to kBootPhys
+  // events so the parallel loop can execute them on shard workers. The
+  // flag is fixed per run — both loops see the same event flow, which is
+  // what keeps reports byte-identical across thread counts. Plain
+  // single-host runs keep the inline flow the pinned goldens expect.
+  deferred_boot_ =
+      shards_.size() > 1 || s.autoscale.enabled || !s.host_events.empty();
   stats_by_id_.fill(nullptr);
   if (policy_ != nullptr) {
     policy_->reset();
@@ -888,7 +1031,7 @@ FleetReport FleetEngine::run(const Scenario& s) {
       t.phases.push_back(pick_workload(t.rng));
     }
     t.outcome.id = t.id;
-    t.outcome.platform = t.platform->name();
+    t.outcome.platform_id = t.platform_id;
     t.outcome.arrival = arrivals[static_cast<std::size_t>(i)];
   }
   // Arrivals are seeded lazily — only the next initial arrival sits in the
@@ -922,73 +1065,11 @@ FleetReport FleetEngine::run(const Scenario& s) {
 
   sim::Nanos first_arrival = arrivals.empty() ? 0 : arrivals.front();
   sim::Nanos last_event = first_arrival;
-  while (!queue_.empty()) {
-    const Event e = queue_.pop();
-    ++report_.events_processed;
-    global_clock_.advance_to(e.time);
-    if (e.kind == EventKind::kHostEvent) {
-      handle_host_event(e, s);
-      continue;
-    }
-    if (e.kind == EventKind::kAutoscaleEval) {
-      handle_autoscale_eval(e.time, s);
-      continue;
-    }
-    Tenant& t = tenants_[e.tenant];
-    if (e.epoch != t.epoch) {
-      continue;  // canceled by a drain migration; superseded lifecycle
-    }
-    last_event = e.time;  // makespan tracks tenant activity, not evals
-    switch (e.kind) {
-      case EventKind::kArrival:
-        handle_arrival(t, s);
-        break;
-      case EventKind::kBootDone:
-        handle_boot_done(t, s);
-        break;
-      case EventKind::kPhaseDone:
-        handle_phase_done(t, s);
-        break;
-      case EventKind::kTeardown:
-        handle_teardown(t, s);
-        break;
-      case EventKind::kHostEvent:
-      case EventKind::kAutoscaleEval:
-        break;  // handled above
-    }
-    if (incremental_placement_) {
-      // One state push for the shard this event touched. A rejected
-      // arrival changed nothing, so re-publishing the tenant's previous
-      // shard is a harmless (and cheap) no-op upsert.
-      publish_host(shards_[static_cast<std::size_t>(t.host)]);
-    }
-    if (e.kind == EventKind::kArrival &&
-        e.tenant == static_cast<std::uint64_t>(arrival_cursor_)) {
-      // That was the cursor tenant's initial arrival (re-arrivals always
-      // carry a smaller id): seed the next one — or, once the density
-      // latch has tripped, reject the whole unseeded tail in bulk. Each
-      // of those arrivals would have been one queue round-trip ending in
-      // the pre-placement latch check; the outcome (admitted = false, one
-      // fleet-level rejection, no host consulted) is identical, only the
-      // per-tenant event cost disappears.
-      ++arrival_cursor_;
-      if (arrival_cursor_ < s.tenant_count) {
-        if (s.stop_at_first_oom && report_.first_oom_tenant >= 0) {
-          for (int i = arrival_cursor_; i < s.tenant_count; ++i) {
-            tenants_[static_cast<std::size_t>(i)].outcome.admitted = false;
-            ++report_.rejected;
-          }
-          latched_tail_ = true;
-          latched_tail_time_ = arrivals.back();
-          arrival_cursor_ = s.tenant_count;
-        } else {
-          queue_.push_at_seq(
-              arrivals[static_cast<std::size_t>(arrival_cursor_)],
-              arrival_seq_base_ + static_cast<std::uint64_t>(arrival_cursor_),
-              static_cast<std::uint64_t>(arrival_cursor_),
-              EventKind::kArrival);
-        }
-      }
+  if (use_parallel(s)) {
+    run_loop_parallel(s, arrivals, last_event);
+  } else {
+    while (!queue_.empty()) {
+      process_event(queue_.pop(), s, arrivals, last_event);
     }
   }
   if (latched_tail_) {

@@ -72,6 +72,13 @@ class FleetEngine {
   /// from scenario.seed, and placement consults no RNG.
   FleetReport run(const Scenario& scenario);
 
+  /// Test hook: re-derive the fleet-resident and fleet-KSM sums from every
+  /// shard at each peak check and compare them against the incremental
+  /// counters note_peaks actually uses. A mismatch latches peak_audit_ok()
+  /// to false. Costs O(M) per admission again, so tests only.
+  void set_peak_audit(bool on) { peak_audit_ = on; }
+  bool peak_audit_ok() const { return !peak_audit_failed_; }
+
  private:
   struct Tenant {
     std::uint64_t id = 0;
@@ -97,6 +104,9 @@ class FleetEngine {
     enum class InFlight { kNone, kBoot, kPhase } in_flight = InFlight::kNone;
     /// Admitted and not yet released (teardown or drain migration).
     bool holds_resources = false;
+    /// CPU contention factor captured at the admitting arrival, applied by
+    /// the deferred kBootPhys event (cluster-capable runs only).
+    double boot_factor = 1.0;
     /// Lifecycle generation; bumped by a drain migration to invalidate the
     /// tenant's already-queued events.
     std::uint32_t epoch = 0;
@@ -134,9 +144,25 @@ class FleetEngine {
 
   // Lifecycle handlers.
   void handle_arrival(Tenant& t, const Scenario& s);
+  void handle_boot_phys(Tenant& t, const Scenario& s);
   void handle_boot_done(Tenant& t, const Scenario& s);
   void handle_phase_done(Tenant& t, const Scenario& s);
   void handle_teardown(Tenant& t, const Scenario& s);
+
+  /// The boot's shard-local physics: platform boot sampling, the image
+  /// pull through the shard's page cache / NVMe, contention stretching by
+  /// `factor`. Advances t.clock, sets t.outcome.boot_latency, returns the
+  /// completion instant. Shared verbatim by the inline single-host path
+  /// (factor = the shard's live cpu_factor) and the deferred kBootPhys
+  /// path (factor captured at the arrival).
+  sim::Nanos boot_physics(Shard& sh, Tenant& t, const Scenario& s,
+                          double factor);
+
+  /// Hard floor on a boot's total duration. Physically it never binds (the
+  /// image term alone is >= 50us); it exists so a deferred boot's kBootDone
+  /// provably lands at least this far after its kBootPhys, which is the
+  /// horizon the parallel lane pipeline runs ahead on.
+  static constexpr sim::Nanos kBootFloorNs = 50'000;
 
   /// Begin tenant t's next workload phase: account its demand, charge its
   /// cost, and schedule the completion event.
@@ -160,9 +186,16 @@ class FleetEngine {
   /// Tell an incremental policy that `sh`'s tenant count for `id` moved.
   void notify_platform_count(Shard& sh, platforms::PlatformId id);
 
-  /// Release everything tenant t currently charges against shard sh:
-  /// in-flight CPU/NIC demand, KSM registration, resident bytes, active
-  /// counters. Shared by teardown and drain migration.
+  /// Shard-local half of a release: in-flight CPU/NIC demand, KSM
+  /// registration, resident bytes, the shard's active counters. Touches
+  /// nothing fleet-global, so window workers may call it; the deltas it
+  /// causes are recorded and replayed by the coordinator.
+  void release_core(Shard& sh, Tenant& t);
+
+  /// Release everything tenant t currently charges against shard sh, plus
+  /// the fleet-global bookkeeping (active_, placement notification, fleet
+  /// counters). Shared by teardown and drain migration on the sequential
+  /// path.
   void release_tenant(Shard& sh, Tenant& t);
 
   // Mid-run topology changes.
@@ -182,6 +215,11 @@ class FleetEngine {
                         const Scenario& s);
 
   void note_peaks(Shard& sh);
+
+  /// Shard-local slice of note_peaks: the shard rollup's peak-active and
+  /// peak-resident/KSM snapshot. Safe on window workers (one worker owns a
+  /// shard at a time); the fleet-global slice stays coordinator-only.
+  void note_shard_peaks(Shard& sh);
 
   /// Set up a freshly constructed or reset shard for this run: KSM tree,
   /// platform instances for the scenario mix, RAM cap, rollup identity.
@@ -227,6 +265,119 @@ class FleetEngine {
   int active_ = 0;  // fleet-wide admitted, not yet torn down
   sim::Nanos last_scale_ = 0;  // virtual time of the last autoscale action
   bool has_scaled_ = false;
+
+  /// Fleet-wide resident/KSM sums, maintained incrementally at the only
+  /// two mutation sites (admit and release_tenant) instead of re-summed
+  /// over every shard per admission — the last O(M)-per-admission piece.
+  /// Integer arithmetic, so note_peaks' peak snapshot is bit-identical to
+  /// the summed form (set_peak_audit checks exactly that).
+  std::uint64_t fleet_resident_ = 0;
+  std::uint64_t fleet_ksm_advised_ = 0;
+  std::uint64_t fleet_ksm_backing_ = 0;
+  std::uint64_t fleet_ksm_shared_ = 0;
+
+  /// Capture a shard's resident/KSM state before a mutation and fold the
+  /// delta into the fleet counters after it (unsigned wraparound makes
+  /// add-new-subtract-old exact for shrinking deltas too).
+  struct FleetDelta {
+    std::uint64_t resident, advised, backing, shared;
+  };
+  FleetDelta fleet_before(const Shard& sh) const;
+  void fleet_apply(const Shard& sh, const FleetDelta& before);
+
+  bool peak_audit_ = false;
+  bool peak_audit_failed_ = false;
+
+  // --- Parallel execution (scenario.threads > 1, cluster runs) ------------
+  //
+  // Conservative parallel discrete-event simulation: shards only interact
+  // through placement/autoscale decisions, so between coordinator events
+  // (arrivals, host events, autoscale evals) each shard's events run on a
+  // worker thread. Two mechanisms share one worker pool:
+  //
+  //  * Lanes: a deferred kBootPhys popped at the top level has its
+  //    kBootDone seq reserved immediately (determinism) and its physics
+  //    computed asynchronously on the owning shard's lane; the coordinator
+  //    keeps processing arrivals and harvests completed boots before the
+  //    queue reaches them (kBootFloorNs is the provable safety horizon).
+  //  * Windows: runs of non-coordinator events are split into per-shard
+  //    sub-queues, drained concurrently with every global effect written
+  //    to a WorkerRecord, then replayed by the coordinator in merged
+  //    (time, seq) order — reproducing the sequential loop byte for byte.
+
+  /// True once this run committed to the parallel loop.
+  bool use_parallel(const Scenario& s) const;
+
+  /// One sequential-loop iteration (shared by both loops for coordinator
+  /// events, and the whole loop when threads == 1).
+  void process_event(const Event& e, const Scenario& s,
+                     const std::vector<sim::Nanos>& arrivals,
+                     sim::Nanos& last_event);
+
+  void run_loop_parallel(const Scenario& s,
+                         const std::vector<sim::Nanos>& arrivals,
+                         sim::Nanos& last_event);
+
+  /// One shard-local event executed off the coordinator. Global effects
+  /// are deferred here and applied during replay in merged order; `seq` is
+  /// the true global seq for extracted events, or a provisional seq
+  /// (>= win_seq_base_) for events born inside the window.
+  struct WorkerRecord {
+    sim::Nanos time = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t tenant = 0;
+    EventKind kind = EventKind::kArrival;
+    bool stale = false;         // epoch mismatch: counted, otherwise inert
+    bool count_tenant = false;  // first boot: ++platform tenant count
+    bool gen = false;           // handler scheduled one follow-up event
+    EventKind gen_kind = EventKind::kArrival;
+    sim::Nanos gen_time = 0;
+    double sample_ms = 0.0;     // boot_ms / phase_ms sample
+    FleetDelta delta{0, 0, 0, 0};  // teardown's fleet-counter deltas
+  };
+
+  /// Per-shard window state, storage reused across windows.
+  struct ShardTask {
+    EventQueue q;                       // this window's events for the shard
+    std::vector<WorkerRecord> records;  // shard-local (time, seq) order
+    std::vector<std::uint64_t> born;    // provisional -> true seq, in order
+    std::uint64_t next_birth = 0;       // next provisional seq to hand out
+    double max_cpu_ratio = 0.0;         // window max of demand / threads
+    bool dirty = false;                 // non-stale events ran: republish
+    std::vector<platforms::PlatformId> counts_touched;  // teardown platforms
+    std::size_t replay_pos = 0;         // merge cursor into records
+  };
+
+  /// Extract the next window out of queue_ into tasks_; returns the number
+  /// of events extracted.
+  std::size_t build_window(const Scenario& s);
+  /// Worker body: drain one shard's window sub-queue.
+  void window_drain(ShardTask& task, const Scenario& s);
+  void window_step(ShardTask& task, const Event& e, const Scenario& s);
+  void worker_start_phase(ShardTask& task, WorkerRecord& r, Tenant& t,
+                          platforms::WorkloadClass w, const Scenario& s);
+  /// Whether an event born at `time` still belongs to the current window.
+  /// Must evaluate identically on workers and during replay.
+  bool birth_in_window(sim::Nanos time) const;
+  /// Merge every task's records by (time, true seq) and apply the global
+  /// effects exactly as the sequential loop would have.
+  void replay_window(const Scenario& s, sim::Nanos& last_event);
+  void replay_record(ShardTask& task, const WorkerRecord& r,
+                     const Scenario& s, sim::Nanos& last_event);
+
+  class ParallelCtx;  // worker pool + boot lanes (engine_parallel.cpp)
+
+  std::vector<ShardTask> tasks_;
+  std::vector<int> win_shards_;    // shards touched by the current window
+  sim::Nanos win_bound_ = 0;       // births at >= bound leave the window
+  bool win_has_stop_ = false;      // window halted by a coordinator event
+  sim::Nanos win_stop_time_ = 0;
+  std::uint64_t win_seq_base_ = 0;  // provisional seqs start here
+
+  /// Cluster-capable runs route boot physics through kBootPhys events (at
+  /// every thread count, so reports stay byte-identical across threads);
+  /// plain single-host runs keep the inline flow the goldens pin.
+  bool deferred_boot_ = false;
 };
 
 }  // namespace fleet

@@ -24,6 +24,9 @@ namespace fleet {
 
 enum class EventKind {
   kArrival,        // tenant requests admission and starts booting
+  kBootPhys,       // deferred boot physics: sampling + image pull on the
+                   //   admitted shard (cluster-capable runs only; plain
+                   //   single-host runs boot inline at the arrival)
   kBootDone,       // boot sequence finished; workload phases begin
   kPhaseDone,      // one workload phase finished
   kTeardown,       // tenant released its resources
@@ -89,6 +92,13 @@ class EventQueue {
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
+
+  /// Next sequence number push() would stamp. The parallel loop snapshots
+  /// this at each window start: shard-local events born inside the window
+  /// get provisional seqs from here upward (strictly above every queued
+  /// event), then the deterministic replay re-issues the real seqs in
+  /// merged order so the global numbering matches the sequential engine's.
+  std::uint64_t next_seq() const { return next_seq_; }
 
   /// Earliest event without removing it. Requires !empty().
   Event top() const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/figures.h"
+#include "platforms/platform.h"
 #include "sim/time.h"
 #include "stats/sample_set.h"
 
@@ -21,10 +22,12 @@ namespace fleet {
 /// Lifecycle record of one tenant. Under churn, arrival/boot_latency/
 /// completion/admitted/completed describe the tenant's LAST round (each
 /// re-arrival resets them), while phases_run and rounds_completed
-/// accumulate across rounds.
+/// accumulate across rounds. Deliberately flat and string-free: a
+/// million-tenant run keeps one of these per tenant, so the platform is
+/// identified by id (FleetReport::by_platform still carries the names).
 struct TenantOutcome {
   std::uint64_t id = 0;
-  std::string platform;
+  platforms::PlatformId platform_id = platforms::PlatformId::kNative;
   sim::Nanos arrival = 0;
   sim::Nanos boot_latency = 0;  // admission to serving (end-to-end cold start)
   sim::Nanos completion = 0;    // teardown finished

@@ -142,6 +142,11 @@ struct Scenario {
   AutoscaleSpec autoscale;
   /// Explicit timed add/drain hooks, evaluated alongside the autoscaler.
   std::vector<HostEvent> host_events;
+  /// Worker threads for the engine's parallel execution mode (cluster runs
+  /// only; single-host runs ignore it). 1 = the sequential loop. Any value
+  /// produces byte-identical reports — threads is an execution knob, not a
+  /// model parameter, so it never appears in the report text.
+  int threads = 1;
 
   // --- Service-level objectives -------------------------------------------
   /// Cold-start budget: when positive, the report renders the fraction of

@@ -1,0 +1,252 @@
+// Tests for the engine's parallel execution mode (Scenario::threads > 1):
+// sequential-vs-parallel byte-identity differentials over storm, churn,
+// autoscale and mid-run drain scenarios at several thread counts, the
+// threads-is-not-a-model-parameter guarantees, and the incremental
+// fleet-counter audit behind note_peaks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/host_system.h"
+#include "fleet/cluster.h"
+#include "fleet/engine.h"
+#include "fleet/placement.h"
+#include "fleet/report.h"
+#include "fleet/scenario.h"
+
+namespace {
+
+using fleet::Cluster;
+using fleet::FleetEngine;
+using fleet::FleetReport;
+using fleet::HostEvent;
+using fleet::PlacementKind;
+using fleet::Scenario;
+
+FleetReport run_cluster(const Scenario& s) {
+  Cluster cluster(s.cluster);
+  return cluster.run(s);
+}
+
+/// Field-by-field identity, tighter than to_text(): includes everything the
+/// text deliberately leaves out (events_processed, per-tenant outcomes,
+/// exact doubles). The parallel engine must reproduce all of it bit for
+/// bit, not just the rendered surface.
+void expect_identical(const FleetReport& a, const FleetReport& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.to_text(), b.to_text());
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.spills, b.spills);
+  EXPECT_EQ(a.peak_active, b.peak_active);
+  EXPECT_EQ(a.peak_cpu_demand, b.peak_cpu_demand);  // exact double
+  EXPECT_EQ(a.peak_resident_bytes, b.peak_resident_bytes);
+  EXPECT_EQ(a.first_oom_tenant, b.first_oom_tenant);
+  EXPECT_EQ(a.churn_rearrivals, b.churn_rearrivals);
+  EXPECT_EQ(a.drain_migrations, b.drain_migrations);
+  EXPECT_EQ(a.final_host_count, b.final_host_count);
+  EXPECT_EQ(a.page_cache_hits, b.page_cache_hits);
+  EXPECT_EQ(a.page_cache_misses, b.page_cache_misses);
+  EXPECT_EQ(a.nvme_bytes_read, b.nvme_bytes_read);
+  EXPECT_EQ(a.ksm.advised_pages, b.ksm.advised_pages);
+  EXPECT_EQ(a.ksm.backing_pages, b.ksm.backing_pages);
+  EXPECT_EQ(a.ksm.shared_pages, b.ksm.shared_pages);
+  EXPECT_EQ(a.ksm.density_gain, b.ksm.density_gain);
+  EXPECT_EQ(a.hap.distinct_functions, b.hap.distinct_functions);
+  EXPECT_EQ(a.hap.total_invocations, b.hap.total_invocations);
+  EXPECT_EQ(a.hap.extended_hap, b.hap.extended_hap);
+
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    const auto& ta = a.tenants[i];
+    const auto& tb = b.tenants[i];
+    EXPECT_EQ(ta.id, tb.id) << "tenant " << i;
+    EXPECT_EQ(ta.platform_id, tb.platform_id) << "tenant " << i;
+    EXPECT_EQ(ta.arrival, tb.arrival) << "tenant " << i;
+    EXPECT_EQ(ta.boot_latency, tb.boot_latency) << "tenant " << i;
+    EXPECT_EQ(ta.completion, tb.completion) << "tenant " << i;
+    EXPECT_EQ(ta.phases_run, tb.phases_run) << "tenant " << i;
+    EXPECT_EQ(ta.rounds_completed, tb.rounds_completed) << "tenant " << i;
+    EXPECT_EQ(ta.admitted, tb.admitted) << "tenant " << i;
+    EXPECT_EQ(ta.completed, tb.completed) << "tenant " << i;
+  }
+
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+    const auto& ha = a.hosts[i];
+    const auto& hb = b.hosts[i];
+    EXPECT_EQ(ha.admitted, hb.admitted) << "host " << i;
+    EXPECT_EQ(ha.rejected, hb.rejected) << "host " << i;
+    EXPECT_EQ(ha.spill_in, hb.spill_in) << "host " << i;
+    EXPECT_EQ(ha.spill_out, hb.spill_out) << "host " << i;
+    EXPECT_EQ(ha.drained, hb.drained) << "host " << i;
+    EXPECT_EQ(ha.peak_active, hb.peak_active) << "host " << i;
+    EXPECT_EQ(ha.peak_resident_bytes, hb.peak_resident_bytes) << "host " << i;
+    EXPECT_EQ(ha.ksm.backing_pages, hb.ksm.backing_pages) << "host " << i;
+    EXPECT_EQ(ha.ksm.shared_pages, hb.ksm.shared_pages) << "host " << i;
+    EXPECT_EQ(ha.page_cache_hits, hb.page_cache_hits) << "host " << i;
+    EXPECT_EQ(ha.page_cache_misses, hb.page_cache_misses) << "host " << i;
+    EXPECT_EQ(ha.nvme_bytes_read, hb.nvme_bytes_read) << "host " << i;
+  }
+
+  ASSERT_EQ(a.autoscale_timeline.size(), b.autoscale_timeline.size());
+  for (std::size_t i = 0; i < a.autoscale_timeline.size(); ++i) {
+    EXPECT_EQ(a.autoscale_timeline[i].time, b.autoscale_timeline[i].time);
+    EXPECT_EQ(a.autoscale_timeline[i].action, b.autoscale_timeline[i].action);
+    EXPECT_EQ(a.autoscale_timeline[i].host, b.autoscale_timeline[i].host);
+    EXPECT_EQ(a.autoscale_timeline[i].live_hosts,
+              b.autoscale_timeline[i].live_hosts);
+    EXPECT_EQ(a.autoscale_timeline[i].resident_fraction,
+              b.autoscale_timeline[i].resident_fraction);
+  }
+}
+
+/// Run `base` at threads = 1 and at each count in `threads`, expecting the
+/// parallel reports to match the sequential one exactly.
+void expect_parallel_identical(Scenario base, const std::string& label) {
+  base.threads = 1;
+  const FleetReport sequential = run_cluster(base);
+  for (const int threads : {2, 3, 8}) {
+    Scenario s = base;
+    s.threads = threads;
+    const FleetReport parallel = run_cluster(s);
+    expect_identical(sequential, parallel,
+                     label + " @ threads=" + std::to_string(threads));
+  }
+}
+
+// --- Differentials ---------------------------------------------------------
+
+TEST(FleetParallelTest, StormMatchesSequentialAcrossPolicies) {
+  for (const PlacementKind policy :
+       {PlacementKind::kRoundRobin, PlacementKind::kLeastLoaded,
+        PlacementKind::kKsmAffinity}) {
+    Scenario s = Scenario::cluster_storm(1200, 8, policy);
+    expect_parallel_identical(
+        s, "storm/" + fleet::placement_kind_name(policy));
+  }
+}
+
+TEST(FleetParallelTest, ChurnMixMatchesSequential) {
+  Scenario s = Scenario::churn_mix(160, 3);
+  s.cluster.host_count = 5;
+  s.placement = PlacementKind::kLeastLoaded;
+  expect_parallel_identical(s, "churn");
+}
+
+TEST(FleetParallelTest, AutoscaleStormMatchesSequential) {
+  Scenario s = Scenario::autoscale_storm(900, 2, 6);
+  expect_parallel_identical(s, "autoscale");
+}
+
+TEST(FleetParallelTest, DrainAndAddMidRunMatchSequential) {
+  Scenario s = Scenario::cluster_storm(800, 4, PlacementKind::kLeastLoaded);
+  HostEvent add;
+  add.time = sim::millis(30);
+  add.kind = HostEvent::Kind::kAdd;
+  HostEvent drain;
+  drain.time = sim::millis(60);
+  drain.kind = HostEvent::Kind::kDrain;
+  drain.host = 1;
+  s.host_events = {add, drain};
+  expect_parallel_identical(s, "host-events");
+}
+
+TEST(FleetParallelTest, RandomizedScenariosMatchSequential) {
+  // Randomized-by-seed sweep across arrival patterns and mixes; every
+  // thread count in 1..8 must agree with the sequential run.
+  int variant = 0;
+  for (const std::uint64_t seed :
+       {0xA11CE5EEDull, 0xB0075EEDull, 0xC105E5EEDull}) {
+    Scenario s = (variant % 2 == 0)
+                     ? Scenario::cluster_storm(600, 6, PlacementKind::kKsmAffinity)
+                     : Scenario::steady_state_mix(300);
+    s.seed = seed;
+    s.cluster.host_count = 6;
+    s.placement = PlacementKind::kLeastPressure;
+    if (variant == 2) {
+      s.churn_rounds = 1;
+      s.churn_gap = sim::millis(40);
+    }
+    s.threads = 1;
+    const FleetReport sequential = run_cluster(s);
+    for (int threads = 2; threads <= 8; ++threads) {
+      Scenario p = s;
+      p.threads = threads;
+      expect_identical(sequential, run_cluster(p),
+                       "randomized seed=" + std::to_string(seed) +
+                           " threads=" + std::to_string(threads));
+    }
+    ++variant;
+  }
+}
+
+// --- The knob is an execution detail ---------------------------------------
+
+TEST(FleetParallelTest, ThreadsOneIsTheDefaultEngine) {
+  Scenario base = Scenario::cluster_storm(500, 4, PlacementKind::kRoundRobin);
+  const FleetReport def = run_cluster(base);
+  Scenario one = base;
+  one.threads = 1;
+  expect_identical(def, run_cluster(one), "threads=1 vs default");
+}
+
+TEST(FleetParallelTest, SingleHostRunsIgnoreThreads) {
+  // One fixed host has nothing to fan out: threads > 1 must take the
+  // sequential path and reproduce the single-host report (the same flow
+  // the pinned goldens cover) exactly.
+  Scenario s = Scenario::coldstart_storm(96);
+  const FleetReport sequential = run_cluster(s);
+  s.threads = 8;
+  expect_identical(sequential, run_cluster(s), "single-host threads=8");
+}
+
+TEST(FleetParallelTest, ReportTextIsThreadCountInvariant) {
+  // The knob must never leak into the rendered report: the text at any
+  // thread count is the byte-identical text the sequential engine prints.
+  Scenario s = Scenario::cluster_storm(300, 4, PlacementKind::kRoundRobin);
+  s.threads = 1;
+  const std::string sequential = run_cluster(s).to_text();
+  for (const int threads : {2, 8}) {
+    s.threads = threads;
+    EXPECT_EQ(run_cluster(s).to_text(), sequential) << "threads=" << threads;
+  }
+}
+
+// --- Incremental fleet counters (note_peaks) -------------------------------
+
+TEST(FleetParallelTest, IncrementalFleetCountersMatchSummedForm) {
+  // set_peak_audit re-derives the fleet resident/KSM sums from every shard
+  // at each peak check and latches a failure on any drift from the O(1)
+  // incremental counters. Exercise admissions, rejections, teardowns,
+  // churn and drains.
+  Scenario s = Scenario::cluster_storm(700, 4, PlacementKind::kLeastLoaded);
+  s.churn_rounds = 1;
+  HostEvent drain;
+  drain.time = sim::millis(50);
+  drain.kind = HostEvent::Kind::kDrain;
+  s.host_events = {drain};
+  for (const int threads : {1, 4}) {
+    Scenario run = s;
+    run.threads = threads;
+    Cluster cluster(run.cluster);
+    const auto policy = fleet::make_placement(run.placement);
+    std::vector<core::HostSystem*> hosts;
+    for (int i = 0; i < cluster.host_count(); ++i) {
+      hosts.push_back(&cluster.host(i));
+    }
+    FleetEngine engine(hosts, policy.get(), &cluster);
+    engine.set_peak_audit(true);
+    const FleetReport r = engine.run(run);
+    EXPECT_TRUE(engine.peak_audit_ok()) << "threads=" << threads;
+    EXPECT_GT(r.admitted, 0);
+  }
+}
+
+}  // namespace
