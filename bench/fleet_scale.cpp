@@ -26,9 +26,15 @@
 // determinism guarantee, enforced on every bench run. The sweep lands in
 // the JSON as a "parallel" block with per-thread wall clock and speedup.
 //
+// With --chaos the crash-recovery storm (host crash mid-ramp on a
+// RAM-tight autoscaled fleet) is run twice — byte-identical or bust — and
+// its recovery SLOs (re-admission fraction, time-to-re-place percentiles)
+// land in the JSON as a "chaos" block, so the perf gate tracks fault
+// turbulence next to clean-path throughput.
+//
 // Usage: fleet_scale [--tenants N[,N...]] [--hosts M]
 //                    [--clusters NxM[,NxM...]] [--threads N[,N...]]
-//                    [--autoscale] [--out PATH] [--no-json]
+//                    [--autoscale] [--chaos] [--out PATH] [--no-json]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -288,6 +294,64 @@ bool run_autoscale(int tenants, int hosts, AutoscaleResult* out) {
   return true;
 }
 
+/// The crash-recovery storm: a mid-ramp host crash on a RAM-tight
+/// autoscaled fleet, reported as recovery SLOs next to wall-clock.
+struct ChaosResult {
+  int tenants = 0;
+  int hosts = 0;
+  int max_hosts = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  int victims = 0;
+  int readmitted = 0;
+  int lost = 0;
+  double readmission_fraction = 0.0;
+  double replace_p50_ms = 0.0;
+  double replace_p99_ms = 0.0;
+  int scale_outs = 0;
+  double makespan_ms = 0.0;
+};
+
+/// Crash-recovery storm run twice (byte-identical or bust). Returns false
+/// on a determinism violation.
+bool run_chaos(int tenants, int hosts, ChaosResult* out) {
+  const auto scenario =
+      fleet::Scenario::crash_recovery(tenants, hosts, 2 * hosts);
+  double wall_a = 0.0;
+  double wall_b = 0.0;
+  const auto a = run_cluster_once(scenario, &wall_a);
+  const auto b = run_cluster_once(scenario, &wall_b);
+  if (a.to_text() != b.to_text() || a.events_processed != b.events_processed) {
+    std::fprintf(stderr,
+                 "fleet_scale: DETERMINISM VIOLATION — crash-recovery storm "
+                 "produced different reports across two fresh runs\n");
+    return false;
+  }
+  out->tenants = tenants;
+  out->hosts = hosts;
+  out->max_hosts = 2 * hosts;
+  out->wall_ms = std::min(wall_a, wall_b);
+  out->events = a.events_processed;
+  out->events_per_sec =
+      out->wall_ms > 0.0
+          ? static_cast<double>(out->events) / (out->wall_ms / 1e3)
+          : 0.0;
+  out->victims = a.crash_victims;
+  out->readmitted = a.crash_readmitted;
+  out->lost = a.crash_lost;
+  out->readmission_fraction = a.readmission_fraction();
+  out->replace_p50_ms = a.replace_ms.empty() ? 0.0 : a.replace_ms.percentile(50);
+  out->replace_p99_ms = a.replace_ms.empty() ? 0.0 : a.replace_ms.percentile(99);
+  for (const auto& action : a.autoscale_timeline) {
+    if (action.action == "scale-out") {
+      ++out->scale_outs;
+    }
+  }
+  out->makespan_ms = sim::to_millis(a.makespan);
+  return true;
+}
+
 /// One thread count of the parallel sweep.
 struct ParallelSweepResult {
   int threads = 0;
@@ -473,7 +537,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                 const std::vector<ClusterBlock>& clusters,
                 const ParallelSweep* parallel,
                 const RetryDifferentialResult* retry,
-                const AutoscaleResult* autoscale) {
+                const AutoscaleResult* autoscale, const ChaosResult* chaos) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
@@ -481,7 +545,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
-  std::fprintf(f, "  \"schema_version\": 5,\n");
+  std::fprintf(f, "  \"schema_version\": 6,\n");
   std::fprintf(f, "  \"unit\": {\"wall_ms\": \"milliseconds\", "
                   "\"events_per_sec\": \"simulator events per second\"},\n");
   std::fprintf(f, "  \"runs\": [\n");
@@ -555,7 +619,8 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     }
   }
   const bool more = !clusters.empty() || parallel != nullptr ||
-                    autoscale != nullptr || retry != nullptr;
+                    autoscale != nullptr || retry != nullptr ||
+                    chaos != nullptr;
   std::fprintf(f, "}%s\n", more ? "," : "");
   if (!clusters.empty()) {
     std::fprintf(f, "  \"clusters\": [\n");
@@ -592,7 +657,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     }
     std::fprintf(f, "  ]%s\n",
                  parallel != nullptr || retry != nullptr ||
-                         autoscale != nullptr
+                         autoscale != nullptr || chaos != nullptr
                      ? ","
                      : "");
   }
@@ -617,7 +682,9 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                    i + 1 < parallel->runs.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n  }%s\n",
-                 retry != nullptr || autoscale != nullptr ? "," : "");
+                 retry != nullptr || autoscale != nullptr || chaos != nullptr
+                     ? ","
+                     : "");
   }
   if (retry != nullptr) {
     std::fprintf(f, "  \"retry_vs_single_shot\": {\n");
@@ -635,7 +702,8 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  "    \"wall_ms\": %.1f\n",
                  retry->retry_admitted, retry->single_shot_admitted,
                  retry->spills, retry->wall_ms);
-    std::fprintf(f, "  }%s\n", autoscale != nullptr ? "," : "");
+    std::fprintf(f, "  }%s\n",
+                 autoscale != nullptr || chaos != nullptr ? "," : "");
   }
   if (autoscale != nullptr) {
     const AutoscaleResult& r = *autoscale;
@@ -661,6 +729,29 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     std::fprintf(f, "    \"fixed_topology\": {\"admitted\": %d, "
                     "\"tenants_admitted\": %d}\n",
                  r.fixed_admitted, r.fixed_tenants_admitted);
+    std::fprintf(f, "  }%s\n", chaos != nullptr ? "," : "");
+  }
+  if (chaos != nullptr) {
+    const ChaosResult& r = *chaos;
+    std::fprintf(f, "  \"chaos\": {\n");
+    std::fprintf(f, "    \"scenario\": \"crash-recovery\",\n");
+    std::fprintf(f, "    \"hosts\": %d,\n", r.hosts);
+    std::fprintf(f, "    \"max_hosts\": %d,\n", r.max_hosts);
+    std::fprintf(f, "    \"tenants\": %d,\n", r.tenants);
+    std::fprintf(f, "    \"determinism\": \"crash-recovery storm run twice "
+                    "against fresh clusters, reports byte-identical\",\n");
+    std::fprintf(f,
+                 "    \"run\": {\"wall_ms\": %.1f, \"events\": %llu, "
+                 "\"events_per_sec\": %.0f, \"makespan_ms\": %.2f},\n",
+                 r.wall_ms, static_cast<unsigned long long>(r.events),
+                 r.events_per_sec, r.makespan_ms);
+    std::fprintf(f,
+                 "    \"recovery\": {\"victims\": %d, \"readmitted\": %d, "
+                 "\"lost\": %d, \"readmission_fraction\": %.4f, "
+                 "\"replace_p50_ms\": %.2f, \"replace_p99_ms\": %.2f, "
+                 "\"scale_outs\": %d}\n",
+                 r.victims, r.readmitted, r.lost, r.readmission_fraction,
+                 r.replace_p50_ms, r.replace_p99_ms, r.scale_outs);
     std::fprintf(f, "  }\n");
   }
   std::fprintf(f, "}\n");
@@ -675,6 +766,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_fleet_scale.json";
   bool json = true;
   bool autoscale = false;
+  bool chaos = false;
   int hosts = 1;
   std::vector<ClusterBlock> extra_clusters;
   std::vector<int> thread_counts;
@@ -707,6 +799,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--autoscale") == 0) {
       autoscale = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
@@ -715,12 +809,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fleet_scale [--tenants N[,N...]] [--hosts M] "
                    "[--clusters NxM[,NxM...]] [--threads N[,N...]] "
-                   "[--autoscale] [--out PATH] [--no-json]\n");
+                   "[--autoscale] [--chaos] [--out PATH] [--no-json]\n");
       return 2;
     }
   }
   if (autoscale && hosts < 2) {
     std::fprintf(stderr, "fleet_scale: --autoscale needs --hosts >= 2\n");
+    return 2;
+  }
+  if (chaos && hosts < 2) {
+    std::fprintf(stderr, "fleet_scale: --chaos needs --hosts >= 2\n");
     return 2;
   }
   if (sizes.empty()) {
@@ -870,11 +968,30 @@ int main(int argc, char** argv) {
                 autoscale_result.spills, autoscale_result.wall_ms);
   }
 
+  ChaosResult chaos_result;
+  if (chaos) {
+    const int ch_tenants = *std::max_element(sizes.begin(), sizes.end());
+    std::printf("\ncrash-recovery: %d tenants, %d -> up to %d hosts, host 0 "
+                "crashes mid-ramp, run twice\n\n",
+                ch_tenants, hosts, 2 * hosts);
+    if (!run_chaos(ch_tenants, hosts, &chaos_result)) {
+      return 1;
+    }
+    std::printf("crash victims %d, re-admitted %d (%.0f%%), lost %d, "
+                "re-place p50 %.2f ms / p99 %.2f ms, %d scale-outs, "
+                "wall %.1f ms\n",
+                chaos_result.victims, chaos_result.readmitted,
+                100.0 * chaos_result.readmission_fraction, chaos_result.lost,
+                chaos_result.replace_p50_ms, chaos_result.replace_p99_ms,
+                chaos_result.scale_outs, chaos_result.wall_ms);
+  }
+
   if (json) {
     write_json(out, runs, clusters,
                want_parallel ? &parallel_sweep : nullptr,
                hosts > 1 ? &retry_result : nullptr,
-               autoscale ? &autoscale_result : nullptr);
+               autoscale ? &autoscale_result : nullptr,
+               chaos ? &chaos_result : nullptr);
   }
   return 0;
 }

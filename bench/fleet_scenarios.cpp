@@ -146,5 +146,23 @@ int main(int argc, char** argv) {
               scaled_report.final_host_count);
   print_report(scaled_report);
 
+  // --- 6. Crash-recovery storm ----------------------------------------------
+  // Chaos composed with autoscaling: host 0 crashes mid-ramp on a
+  // RAM-tight fleet, the victims re-arrive on the survivors, and the
+  // re-admission surge (not ambient load) trips the scale-out watermark.
+  // The report grows a recovery section with per-fault verdicts.
+  auto crash = fleet::Scenario::crash_recovery(192, 2, 4);
+  crash.threads = threads;
+  fleet::Cluster crash_cluster(crash.cluster);
+  const auto crash_report = crash_cluster.run(crash);
+  std::printf("--- %s: %d tenants, host 0 crashes at %.0f ms ---\n",
+              crash.name.c_str(), crash.tenant_count,
+              sim::to_millis(crash.faults.timed[0].time));
+  std::printf("crash victims %d, re-admitted %d (%.0f%%), lost %d\n\n",
+              crash_report.crash_victims, crash_report.crash_readmitted,
+              100.0 * crash_report.readmission_fraction(),
+              crash_report.crash_lost);
+  print_report(crash_report);
+
   return 0;
 }

@@ -1,0 +1,227 @@
+#include "fleet/chaos.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fleet/scenario.h"
+#include "sim/rng.h"
+
+namespace fleet {
+
+namespace {
+
+void validate_racks(const ClusterTopology& topo, int initial_hosts) {
+  for (const ClusterTopology::Rack& rack : topo.racks) {
+    if (rack.name.empty()) {
+      throw std::invalid_argument("ClusterTopology: rack with an empty name");
+    }
+    if (rack.hosts.empty()) {
+      throw std::invalid_argument("ClusterTopology: rack '" + rack.name +
+                                  "' has no hosts");
+    }
+    for (const int h : rack.hosts) {
+      if (h < 0 || h >= initial_hosts) {
+        throw std::invalid_argument(
+            "ClusterTopology: rack '" + rack.name + "' references host " +
+            std::to_string(h) + " outside the initial topology of " +
+            std::to_string(initial_hosts) + " hosts");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ResolvedFault> resolve_faults(const Scenario& s,
+                                          int initial_hosts) {
+  const FaultSpec& spec = s.faults;
+  std::vector<ResolvedFault> out;
+  if (!spec.enabled()) {
+    return out;
+  }
+  validate_racks(s.cluster, initial_hosts);
+  if (spec.random_crashes < 0 || spec.random_partitions < 0) {
+    throw std::invalid_argument(
+        "FaultSpec: random fault counts must be non-negative");
+  }
+
+  const auto resolve_one = [&](const Fault& f) {
+    if (f.time < 0) {
+      throw std::invalid_argument("FaultSpec: fault time must be non-negative");
+    }
+    if (f.restart_delay < 0 || f.restart_jitter < 0) {
+      throw std::invalid_argument(
+          "FaultSpec: restart delay and jitter must be non-negative");
+    }
+    ResolvedFault r;
+    r.kind = f.kind;
+    r.time = f.time;
+    r.restart_delay = f.restart_delay;
+    r.restart_jitter = f.restart_jitter;
+    if (f.kind == Fault::Kind::kPartition) {
+      if (f.duration <= 0) {
+        throw std::invalid_argument(
+            "FaultSpec: partition duration must be positive");
+      }
+      r.duration = f.duration;
+    }
+    if (!f.rack.empty()) {
+      const ClusterTopology::Rack* rack = nullptr;
+      for (const ClusterTopology::Rack& candidate : s.cluster.racks) {
+        if (candidate.name == f.rack) {
+          rack = &candidate;
+          break;
+        }
+      }
+      if (rack == nullptr) {
+        throw std::invalid_argument("FaultSpec: unknown rack '" + f.rack +
+                                    "'");
+      }
+      r.rack = f.rack;
+      r.hosts = rack->hosts;
+    } else {
+      if (f.host < 0 || f.host >= initial_hosts) {
+        throw std::invalid_argument(
+            "FaultSpec: fault targets host " + std::to_string(f.host) +
+            " outside the initial topology of " +
+            std::to_string(initial_hosts) + " hosts");
+      }
+      r.hosts = {f.host};
+    }
+    out.push_back(std::move(r));
+  };
+
+  for (const Fault& f : spec.timed) {
+    resolve_one(f);
+  }
+  if (spec.random_crashes > 0 || spec.random_partitions > 0) {
+    if (spec.random_horizon <= 0) {
+      throw std::invalid_argument(
+          "FaultSpec: random faults need a positive random_horizon");
+    }
+    // One stream for the whole random schedule, derived from the scenario
+    // seed: same seed, same chaos.
+    sim::Rng rng(s.seed ^ 0xFA01'7C4A'0500'0001ull);
+    const auto draw = [&](Fault::Kind kind) {
+      Fault f;
+      f.kind = kind;
+      f.time = static_cast<sim::Nanos>(
+          rng.next_double() * static_cast<double>(spec.random_horizon));
+      f.host = std::min(initial_hosts - 1,
+                        static_cast<int>(rng.next_double() *
+                                         static_cast<double>(initial_hosts)));
+      f.duration = spec.random_partition_duration;
+      f.restart_delay = spec.random_restart_delay;
+      f.restart_jitter = spec.random_restart_jitter;
+      resolve_one(f);
+    };
+    for (int i = 0; i < spec.random_crashes; ++i) {
+      draw(Fault::Kind::kCrash);
+    }
+    for (int i = 0; i < spec.random_partitions; ++i) {
+      draw(Fault::Kind::kPartition);
+    }
+  }
+
+  // Injection order = time order, stable so same-instant faults keep their
+  // authoring order. Ids follow, so the event stream pops faults in id
+  // order and FleetReport::recovery[id] is fault id's verdict.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ResolvedFault& a, const ResolvedFault& b) {
+                     return a.time < b.time;
+                   });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].id = static_cast<int>(i);
+  }
+  return out;
+}
+
+void validate_host_events(const Scenario& s, int initial_hosts) {
+  // Indices at or above this can never name a host in this scenario: the
+  // initial topology plus every explicit add, with any autoscale headroom
+  // making the index space unbounded (scale-out always appends).
+  int adds = 0;
+  for (const HostEvent& he : s.host_events) {
+    adds += he.kind == HostEvent::Kind::kAdd ? 1 : 0;
+  }
+  const bool can_grow =
+      s.autoscale.enabled && s.autoscale.max_hosts > initial_hosts;
+  for (const HostEvent& he : s.host_events) {
+    if (he.time < 0) {
+      throw std::invalid_argument(
+          "HostEvent: event time must be non-negative");
+    }
+    if (he.kind != HostEvent::Kind::kDrain) {
+      continue;
+    }
+    if (he.host < -1) {
+      throw std::invalid_argument(
+          "HostEvent: drain host must be a host index or -1 (engine picks)");
+    }
+    if (!can_grow && he.host >= initial_hosts + adds) {
+      throw std::invalid_argument(
+          "HostEvent: drain targets host " + std::to_string(he.host) +
+          " but at most " + std::to_string(initial_hosts + adds) +
+          " hosts can ever exist in this scenario");
+    }
+  }
+}
+
+std::vector<std::vector<PartitionWindow>> build_partition_windows(
+    const std::vector<ResolvedFault>& faults, int initial_hosts) {
+  std::vector<std::vector<PartitionWindow>> windows;
+  bool any = false;
+  for (const ResolvedFault& f : faults) {
+    any = any || f.kind == Fault::Kind::kPartition;
+  }
+  if (!any) {
+    return windows;  // empty: fault-free NIC paths stay zero-cost
+  }
+  windows.resize(static_cast<std::size_t>(initial_hosts));
+  for (const ResolvedFault& f : faults) {
+    if (f.kind != Fault::Kind::kPartition) {
+      continue;
+    }
+    for (const int h : f.hosts) {
+      windows[static_cast<std::size_t>(h)].push_back(
+          PartitionWindow{f.time, f.time + f.duration});
+    }
+  }
+  for (auto& w : windows) {
+    std::sort(w.begin(), w.end(),
+              [](const PartitionWindow& a, const PartitionWindow& b) {
+                return a.start < b.start;
+              });
+    // Coalesce overlaps so stalled_completion walks disjoint windows.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (kept > 0 && w[i].start <= w[kept - 1].end) {
+        w[kept - 1].end = std::max(w[kept - 1].end, w[i].end);
+      } else {
+        w[kept++] = w[i];
+      }
+    }
+    w.resize(kept);
+  }
+  return windows;
+}
+
+sim::Nanos stalled_completion(const std::vector<PartitionWindow>& windows,
+                              sim::Nanos start, sim::Nanos work) {
+  sim::Nanos at = start;
+  sim::Nanos left = work;
+  for (const PartitionWindow& w : windows) {
+    if (w.end <= at) {
+      continue;  // already past this window
+    }
+    const sim::Nanos gap = w.start > at ? w.start - at : 0;
+    if (gap >= left) {
+      break;  // finishes before the next stall begins
+    }
+    left -= gap;
+    at = w.end;  // frozen for the rest of the window
+  }
+  return at + left;
+}
+
+}  // namespace fleet

@@ -1,0 +1,129 @@
+// Fault injection for the fleet engine: the chaos half of the
+// policy/mechanism split.
+//
+// A FaultSpec is pure policy — *what* fails and when: timed host crashes,
+// timed network partitions, rack-correlated faults, and seeded-random
+// schedules drawn deterministically from the scenario seed. The engine is
+// the mechanism: resolved faults become first-class events on the one
+// global deterministic queue (kHostCrash / kPartitionStart / kPartitionEnd
+// in event_queue.h), so every failure scenario is byte-reproducible at
+// every thread count and can be pinned as a golden like any other run.
+//
+// Fault semantics (engine.cpp):
+//  * Crash: every tenant on the host dies mid-phase with its in-flight
+//    CPU/NIC demand released; the host's page cache and KSM stable tree
+//    are lost wholesale; victims re-arrive on the survivors after
+//    restart_delay (plus per-victim jitter) as a surge through placement
+//    and admission. The report's recovery section records the verdict.
+//  * Partition: NIC-bound completions on the affected hosts stall — work
+//    makes no progress inside a partition window, so completion times
+//    stretch by the overlap. Network phases always stall; boots stall only
+//    when they actually pull the image (a fully cache-resident boot never
+//    touches the wire).
+//  * Rack fault: a named group of hosts (ClusterTopology::racks) crashes
+//    or partitions at one instant — the correlated-failure case.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fleet {
+
+struct Scenario;
+
+/// One injected fault, as the scenario author writes it.
+struct Fault {
+  enum class Kind { kCrash, kPartition };
+  Kind kind = Kind::kCrash;
+  /// Injection instant (virtual time).
+  sim::Nanos time = 0;
+  /// Target host index into the initial topology. Ignored when `rack` is
+  /// set, which targets every member of that rack at the same instant.
+  int host = 0;
+  /// Named rack (ClusterTopology::racks) for correlated faults.
+  std::string rack;
+  /// Partition length (kPartition only).
+  sim::Nanos duration = sim::millis(50);
+  /// Crash victims re-arrive this long after the crash instant...
+  sim::Nanos restart_delay = sim::millis(20);
+  /// ...plus a per-victim uniform draw in [0, restart_jitter), so the
+  /// re-arrival surge spreads out the way real restart backoff does. The
+  /// jitter stream is per-fault (derived from scenario seed and fault id),
+  /// never the tenant's own RNG, so victim workloads replay identically.
+  sim::Nanos restart_jitter = sim::millis(20);
+};
+
+/// The fault schedule: an explicit timed list plus optional seeded-random
+/// faults. Random faults draw injection times uniformly over
+/// [0, random_horizon) and target hosts uniformly over the initial
+/// topology, from an RNG derived from the scenario seed — same seed, same
+/// chaos, byte for byte.
+struct FaultSpec {
+  std::vector<Fault> timed;
+  int random_crashes = 0;
+  int random_partitions = 0;
+  sim::Nanos random_horizon = 0;
+  /// Shape of the random faults.
+  sim::Nanos random_partition_duration = sim::millis(50);
+  sim::Nanos random_restart_delay = sim::millis(20);
+  sim::Nanos random_restart_jitter = sim::millis(20);
+
+  bool enabled() const {
+    // != 0, not > 0: a negative count must reach resolve_faults so it is
+    // rejected up front rather than silently disabling chaos.
+    return !timed.empty() || random_crashes != 0 || random_partitions != 0;
+  }
+};
+
+/// One fault resolved against a concrete topology: rack names expanded to
+/// host lists, random faults drawn, the whole schedule sorted by time with
+/// ids assigned in that order. The id doubles as the event payload
+/// (Event::tenant) and as the index of the fault's RecoveryVerdict in
+/// FleetReport::recovery.
+struct ResolvedFault {
+  int id = 0;
+  Fault::Kind kind = Fault::Kind::kCrash;
+  sim::Nanos time = 0;
+  std::vector<int> hosts;
+  std::string rack;  // label only; empty for single-host faults
+  sim::Nanos duration = 0;
+  sim::Nanos restart_delay = 0;
+  sim::Nanos restart_jitter = 0;
+};
+
+/// Expand and validate the scenario's fault schedule against the initial
+/// topology. Throws std::invalid_argument on negative times, non-positive
+/// partition durations, out-of-range host indices, unknown or malformed
+/// racks — up front, instead of UB deep in the event loop.
+std::vector<ResolvedFault> resolve_faults(const Scenario& s,
+                                          int initial_hosts);
+
+/// Up-front validation of the scenario's timed HostEvent hooks: negative
+/// times and host indices that could never name a real host are rejected
+/// with a clear error. Throws std::invalid_argument.
+void validate_host_events(const Scenario& s, int initial_hosts);
+
+/// Half-open window [start, end) during which a host's NIC makes no
+/// progress.
+struct PartitionWindow {
+  sim::Nanos start = 0;
+  sim::Nanos end = 0;
+};
+
+/// Per-host partition windows (indexed by initial-topology host index),
+/// sorted and coalesced. Empty when the schedule has no partitions, so
+/// fault-free runs pay nothing. Immutable for the whole run — worker
+/// threads read it without synchronization.
+std::vector<std::vector<PartitionWindow>> build_partition_windows(
+    const std::vector<ResolvedFault>& faults, int initial_hosts);
+
+/// Completion instant of `work` nanoseconds of NIC-bound progress starting
+/// at `start`, with progress frozen inside every window: the completion
+/// stretches by exactly the partition overlap. Windows must be sorted and
+/// non-overlapping (build_partition_windows guarantees both).
+sim::Nanos stalled_completion(const std::vector<PartitionWindow>& windows,
+                              sim::Nanos start, sim::Nanos work);
+
+}  // namespace fleet

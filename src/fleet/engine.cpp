@@ -292,6 +292,16 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
   if (s.stop_at_first_oom && report_.first_oom_tenant >= 0) {
     t.outcome.admitted = false;
     ++report_.rejected;
+    note_crash_loss(t);
+    return;
+  }
+  // A crash can kill the whole fleet; with nowhere to place, the arrival
+  // is rejected fleet-level (no host consulted, no first-OOM latch — this
+  // is a capacity outage, not a density wall).
+  if (live_hosts_ == 0) {
+    t.outcome.admitted = false;
+    ++report_.rejected;
+    note_crash_loss(t);
     return;
   }
 
@@ -356,6 +366,7 @@ void FleetEngine::handle_arrival(Tenant& t, const Scenario& s) {
     t.resident_bytes = 0;
     ++report_.rejected;
     ++shards_[static_cast<std::size_t>(last_tried)].rollup.rejected;
+    note_crash_loss(t);
     return;
   }
 
@@ -416,9 +427,19 @@ sim::Nanos FleetEngine::boot_physics(Shard& sh, Tenant& t, const Scenario& s,
   // never instantaneous" into a provable invariant the parallel loop's
   // harvest horizon leans on: a kBootPhys issued at time T cannot produce a
   // kBootDone before T + kBootFloorNs.
-  const auto total = std::max<sim::Nanos>(
+  auto total = std::max<sim::Nanos>(
       kBootFloorNs, static_cast<sim::Nanos>(
                         static_cast<double>(boot_ns + image_ns) * factor));
+  // Boots that actually pulled the image wait out any partition window on
+  // this host; a fully cache-resident boot never touches the wire. The
+  // stall only ever adds time, so the kBootFloorNs horizon still holds.
+  if (misses > 0) {
+    const sim::Nanos stalled = partition_stall(sh.rollup.host, arrival, total);
+    if (stalled != total) {
+      ++sh.rollup.nic_stalls;
+      total = stalled;
+    }
+  }
   t.clock.advance_to(arrival + total);
   t.outcome.boot_latency = total;
   return arrival + total;
@@ -454,6 +475,20 @@ void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
   }
   stats.boot_ms.add(sim::to_millis(t.outcome.boot_latency));
   report_.cluster_boot_ms.add(sim::to_millis(t.outcome.boot_latency));
+  if (t.crash_fault >= 0) {
+    // Recovery resolved: the victim is serving again on a survivor.
+    // Time-to-re-place runs from the crash instant to this boot finishing.
+    // Re-admission is counted here, not at the admitting arrival, so a
+    // victim drain-migrated between admission and boot counts once.
+    const double ms = sim::to_millis(
+        t.clock.now() - faults_[static_cast<std::size_t>(t.crash_fault)].time);
+    auto& rv = report_.recovery[static_cast<std::size_t>(t.crash_fault)];
+    rv.replace_ms.add(ms);
+    ++rv.readmitted;
+    ++report_.crash_readmitted;
+    report_.replace_ms.add(ms);
+    t.crash_fault = -1;
+  }
 
   if (t.phases.empty()) {
     queue_.push(t.clock.now(), t.id, EventKind::kTeardown, t.epoch);
@@ -587,13 +622,7 @@ void FleetEngine::handle_teardown(Tenant& t, const Scenario& s) {
 
 // --- Mid-run topology changes ----------------------------------------------
 
-int FleetEngine::live_host_count() const {
-  int live = 0;
-  for (const Shard& sh : shards_) {
-    live += sh.live ? 1 : 0;
-  }
-  return live;
-}
+int FleetEngine::live_host_count() const { return live_hosts_; }
 
 double FleetEngine::resident_fraction() const {
   std::uint64_t cap = 0;
@@ -649,13 +678,21 @@ int FleetEngine::add_shard(const Scenario& s) {
   sh.cache_hits0 = sh.host->page_cache().hits();
   sh.cache_misses0 = sh.host->page_cache().misses();
   sh.nvme_read0 = sh.host->nvme().bytes_read();
+  ++live_hosts_;
   publish_host(sh);
   return index;
 }
 
 void FleetEngine::drain_shard(int index, const Scenario& s, sim::Nanos now) {
   Shard& sh = shards_[static_cast<std::size_t>(index)];
+  if (!sh.live) {
+    // Already drained or crashed — possibly earlier in this very timestamp
+    // batch (a timed kDrain racing a same-instant crash). Draining a dead
+    // host twice would re-release its tenants and corrupt every counter.
+    return;
+  }
   sh.live = false;
+  --live_hosts_;
   sh.rollup.drained = true;
   if (incremental_placement_) {
     policy_->host_removed(index);
@@ -739,6 +776,132 @@ void FleetEngine::handle_autoscale_eval(sim::Nanos now, const Scenario& s) {
   }
 }
 
+// --- Fault injection ---------------------------------------------------------
+
+void FleetEngine::handle_fault(const Event& e, const Scenario& s) {
+  const ResolvedFault& f = faults_[e.tenant];
+  if (e.kind == EventKind::kPartitionEnd) {
+    // Heal instant. The stall itself is precomputed from the immutable
+    // window list; this event exists as a parallel-loop barrier (NIC
+    // behavior changes across it) and to keep the queue's timeline honest.
+    return;
+  }
+  // Every fault pushes exactly one verdict at its start event, and faults
+  // are queued in id (= time) order, so report_.recovery[f.id] is this
+  // fault's verdict for all later bookkeeping.
+  FleetReport::RecoveryVerdict v;
+  v.fault = f.id;
+  v.rack = f.rack;
+  v.time = f.time;
+  if (e.kind == EventKind::kPartitionStart) {
+    v.kind = "partition";
+    v.duration = f.duration;
+    for (const int h : f.hosts) {
+      if (shards_[static_cast<std::size_t>(h)].live) {
+        v.hosts.push_back(h);
+      }
+    }
+    report_.recovery.push_back(std::move(v));
+    return;
+  }
+  v.kind = "crash";
+  // Per-fault restart-jitter stream: victims draw from it in tenant-id
+  // order, never from their own RNGs, so victim workloads replay
+  // identically after the crash.
+  sim::Rng frng(s.seed ^ (0xC8A5'0000'0000'0000ull +
+                          static_cast<std::uint64_t>(f.id)));
+  for (const int h : f.hosts) {
+    if (!shards_[static_cast<std::size_t>(h)].live) {
+      continue;  // already drained or crashed, possibly this same instant
+    }
+    v.hosts.push_back(h);
+    crash_shard(h, f, e.time, frng, v);
+  }
+  report_.crash_victims += v.victims;
+  report_.recovery.push_back(std::move(v));
+}
+
+void FleetEngine::crash_shard(int index, const ResolvedFault& f,
+                              sim::Nanos now, sim::Rng& frng,
+                              FleetReport::RecoveryVerdict& v) {
+  Shard& sh = shards_[static_cast<std::size_t>(index)];
+  const FleetDelta before = fleet_before(sh);
+  sh.live = false;
+  --live_hosts_;
+  sh.rollup.crashed = true;
+  if (incremental_placement_) {
+    policy_->host_removed(index);
+  }
+  // Victims die mid-phase: unlike a graceful drain there is no per-tenant
+  // release — their in-flight CPU/NIC demand vanishes with the host, and
+  // the host's KSM stable tree and page cache are lost wholesale below.
+  // Each victim re-arrives on the survivors after the fault's restart
+  // delay plus a per-victim jitter draw, facing placement + admission
+  // again; bumping the epoch discards its already-queued events.
+  for (Tenant& t : tenants_) {
+    if (t.host != index || !t.holds_resources) {
+      continue;
+    }
+    t.in_flight = Tenant::InFlight::kNone;
+    t.ksm_registered = false;  // its tree registration dies with the host
+    t.resident_bytes = 0;
+    t.holds_resources = false;
+    --active_;
+    ++t.epoch;
+    t.next_phase = 0;
+    const sim::Nanos rearrive =
+        now + f.restart_delay +
+        static_cast<sim::Nanos>(frng.next_double() *
+                                static_cast<double>(f.restart_jitter));
+    t.clock = sim::Clock(rearrive);
+    t.outcome.arrival = rearrive;
+    t.outcome.boot_latency = 0;
+    t.outcome.completion = 0;
+    t.outcome.completed = false;
+    t.crash_fault = f.id;
+    ++v.victims;
+    queue_.push(rearrive, t.id, EventKind::kArrival, t.epoch);
+  }
+  // The host state dies wholesale: cold page cache, empty stable tree,
+  // every activity counter zeroed. fleet_apply folds the loss into the
+  // incremental fleet counters exactly (set_peak_audit checks this).
+  sh.ksm = mem::Ksm{};
+  sh.host->page_cache().drop_caches();
+  sh.non_ksm_resident = 0;
+  sh.active = 0;
+  sh.net_active = 0;
+  sh.cpu_demand = 0.0;
+  sh.tenants_by_platform.clear();
+  fleet_apply(sh, before);
+  if (provisioner_ != nullptr) {
+    provisioner_->retire_host(index);
+  }
+}
+
+sim::Nanos FleetEngine::partition_stall(int host, sim::Nanos start,
+                                        sim::Nanos duration) const {
+  // Hosts added mid-run sit past the initial topology and are never
+  // partition targets, so indexing can simply bounds-check.
+  if (partitions_.empty() || host >= static_cast<int>(partitions_.size())) {
+    return duration;
+  }
+  const auto& windows = partitions_[static_cast<std::size_t>(host)];
+  if (windows.empty()) {
+    return duration;
+  }
+  return stalled_completion(windows, start, duration) - start;
+}
+
+void FleetEngine::note_crash_loss(Tenant& t) {
+  if (t.crash_fault < 0) {
+    return;
+  }
+  ++report_.recovery[static_cast<std::size_t>(t.crash_fault)].lost;
+  ++report_.crash_lost;
+  t.crash_fault = -1;  // recovery resolved: permanently lost
+}
+
+
 sim::Nanos FleetEngine::phase_cost(Tenant& t, WorkloadClass w,
                                    const Scenario& s) {
   Shard& sh = shards_[static_cast<std::size_t>(t.host)];
@@ -787,7 +950,22 @@ sim::Nanos FleetEngine::phase_cost(Tenant& t, WorkloadClass w,
       cost = base / 10;
       break;
   }
-  return static_cast<sim::Nanos>(static_cast<double>(cost) * sh.cpu_factor());
+  auto total =
+      static_cast<sim::Nanos>(static_cast<double>(cost) * sh.cpu_factor());
+  if (w == WorkloadClass::kNetwork) {
+    // A partition freezes NIC progress: the phase completion stretches by
+    // exactly the window overlap. Computed from the immutable per-run
+    // window list at scheduling time, so it is identical at every thread
+    // count. t.clock.now() is still the phase start here — start_phase
+    // advances the clock by this function's return value.
+    const sim::Nanos stalled =
+        partition_stall(sh.rollup.host, t.clock.now(), total);
+    if (stalled != total) {
+      ++sh.rollup.nic_stalls;
+      total = stalled;
+    }
+  }
+  return total;
 }
 
 void FleetEngine::init_shard(Shard& sh, int index, const Scenario& s) {
@@ -825,6 +1003,11 @@ void FleetEngine::process_event(const Event& e, const Scenario& s,
     handle_autoscale_eval(e.time, s);
     return;
   }
+  if (e.kind == EventKind::kHostCrash || e.kind == EventKind::kPartitionStart ||
+      e.kind == EventKind::kPartitionEnd) {
+    handle_fault(e, s);
+    return;
+  }
   Tenant& t = tenants_[e.tenant];
   if (e.epoch != t.epoch) {
     return;  // canceled by a drain migration; superseded lifecycle
@@ -848,6 +1031,9 @@ void FleetEngine::process_event(const Event& e, const Scenario& s,
       break;
     case EventKind::kHostEvent:
     case EventKind::kAutoscaleEval:
+    case EventKind::kHostCrash:
+    case EventKind::kPartitionStart:
+    case EventKind::kPartitionEnd:
       break;  // handled above
   }
   if (incremental_placement_) {
@@ -910,6 +1096,13 @@ FleetReport FleetEngine::run(const Scenario& s) {
     throw std::invalid_argument(
         "FleetEngine::run: autoscale.eval_interval must be positive");
   }
+  // Up-front validation and fault resolution (chaos.h): out-of-range host
+  // indices, negative times and malformed racks throw here with a clear
+  // message instead of corrupting state deep in the event loop.
+  validate_host_events(s, static_cast<int>(shards_.size()));
+  faults_ = resolve_faults(s, static_cast<int>(shards_.size()));
+  partitions_ =
+      build_partition_windows(faults_, static_cast<int>(shards_.size()));
   queue_ = EventQueue{};
   report_ = FleetReport{};
   report_.scenario = s.name;
@@ -939,8 +1132,9 @@ FleetReport FleetEngine::run(const Scenario& s) {
   // flag is fixed per run — both loops see the same event flow, which is
   // what keeps reports byte-identical across thread counts. Plain
   // single-host runs keep the inline flow the pinned goldens expect.
-  deferred_boot_ =
-      shards_.size() > 1 || s.autoscale.enabled || !s.host_events.empty();
+  deferred_boot_ = shards_.size() > 1 || s.autoscale.enabled ||
+                   !s.host_events.empty() || s.faults.enabled();
+  live_hosts_ = static_cast<int>(shards_.size());
   stats_by_id_.fill(nullptr);
   if (policy_ != nullptr) {
     policy_->reset();
@@ -1056,6 +1250,17 @@ FleetReport FleetEngine::run(const Scenario& s) {
   if (s.autoscale.enabled) {
     queue_.push(s.autoscale.eval_interval, 0, EventKind::kAutoscaleEval);
   }
+  // Fault events ride the same global queue. Pushed in id (= time) order,
+  // so fault start events pop in id order and each pushes recovery[id].
+  for (const ResolvedFault& f : faults_) {
+    const auto id = static_cast<std::uint64_t>(f.id);
+    if (f.kind == Fault::Kind::kCrash) {
+      queue_.push(f.time, id, EventKind::kHostCrash);
+    } else {
+      queue_.push(f.time, id, EventKind::kPartitionStart);
+      queue_.push(f.time + f.duration, id, EventKind::kPartitionEnd);
+    }
+  }
 
   for (Shard& sh : shards_) {
     sh.cache_hits0 = sh.host->page_cache().hits();
@@ -1102,6 +1307,7 @@ FleetReport FleetEngine::run(const Scenario& s) {
     report_.page_cache_hits += sh.rollup.page_cache_hits;
     report_.page_cache_misses += sh.rollup.page_cache_misses;
     report_.nvme_bytes_read += sh.rollup.nvme_bytes_read;
+    report_.nic_stalls += sh.rollup.nic_stalls;
     report_.hosts.push_back(sh.rollup);
   }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/host_system.h"
+#include "fleet/chaos.h"
 #include "fleet/event_queue.h"
 #include "fleet/placement.h"
 #include "fleet/report.h"
@@ -110,6 +111,11 @@ class FleetEngine {
     /// Lifecycle generation; bumped by a drain migration to invalidate the
     /// tenant's already-queued events.
     std::uint32_t epoch = 0;
+    /// Fault id whose crash killed this tenant; -1 outside recovery. Set
+    /// when a crash re-injects the victim's arrival, cleared when the
+    /// recovery resolves (re-boot served -> replace_ms sample, or
+    /// rejection -> permanently lost).
+    int crash_fault = -1;
   };
 
   /// Per-host mechanism state: one HostSystem plus everything the engine
@@ -209,6 +215,25 @@ class FleetEngine {
   void handle_host_event(const Event& e, const Scenario& s);
   void handle_autoscale_eval(sim::Nanos now, const Scenario& s);
 
+  // Fault injection (chaos.h). Coordinator-only: every fault kind is a
+  // barrier in the parallel loop, so these never race a window worker.
+  void handle_fault(const Event& e, const Scenario& s);
+  /// Kill every tenant on shard `index`: release their in-flight demand,
+  /// drop the host's page cache and KSM stable tree wholesale, retire the
+  /// host from placement, and re-inject the victims as jittered arrivals.
+  void crash_shard(int index, const ResolvedFault& f, sim::Nanos now,
+                   sim::Rng& frng, FleetReport::RecoveryVerdict& v);
+  /// Stretch of a NIC-bound completion by the host's partition windows;
+  /// `duration` unchanged when none overlap. Reads only immutable per-run
+  /// state, so window workers may call it.
+  sim::Nanos partition_stall(int host, sim::Nanos start,
+                             sim::Nanos duration) const;
+  /// Recovery bookkeeping when a crash victim's re-arrival is rejected:
+  /// the tenant is permanently lost. (Re-admission is counted where the
+  /// re-boot completes — handle_boot_done / replay_record — so a victim
+  /// drain-migrated mid-recovery is never double-counted.)
+  void note_crash_loss(Tenant& t);
+
   /// Virtual duration of one workload phase, including platform profile
   /// scaling and charges to the shard's host models.
   sim::Nanos phase_cost(Tenant& t, platforms::WorkloadClass w,
@@ -265,6 +290,17 @@ class FleetEngine {
   int active_ = 0;  // fleet-wide admitted, not yet torn down
   sim::Nanos last_scale_ = 0;  // virtual time of the last autoscale action
   bool has_scaled_ = false;
+
+  /// Resolved fault schedule for this run (chaos.h); empty when the
+  /// scenario injects none. Written once before the loop starts, immutable
+  /// after — worker threads read faults_/partitions_ freely.
+  std::vector<ResolvedFault> faults_;
+  /// Per-host partition windows (initial-topology indices only; hosts
+  /// added mid-run are never partition targets).
+  std::vector<std::vector<PartitionWindow>> partitions_;
+  /// Live shard count, maintained at add/drain/crash so the per-arrival
+  /// zero-live-hosts check is O(1) instead of an O(M) scan.
+  int live_hosts_ = 0;
 
   /// Fleet-wide resident/KSM sums, maintained incrementally at the only
   /// two mutation sites (admit and release_tenant) instead of re-summed
@@ -334,6 +370,10 @@ class FleetEngine {
     sim::Nanos gen_time = 0;
     double sample_ms = 0.0;     // boot_ms / phase_ms sample
     FleetDelta delta{0, 0, 0, 0};  // teardown's fleet-counter deltas
+    /// Crash-recovery resolution carried by a victim's kBootDone: the
+    /// fault whose replace_ms gets `recovery_ms` during replay (-1: none).
+    int recovery_fault = -1;
+    double recovery_ms = 0.0;
   };
 
   /// Per-shard window state, storage reused across windows.

@@ -78,8 +78,12 @@ using demand::workload_vcpus;
 constexpr std::size_t kMinParallelWindow = 64;
 
 bool is_coordinator_kind(EventKind k) {
+  // Fault events are barriers too: a crash rewrites foreign tenants' state
+  // and the topology, and a partition boundary changes NIC behavior on
+  // either side of it.
   return k == EventKind::kArrival || k == EventKind::kHostEvent ||
-         k == EventKind::kAutoscaleEval;
+         k == EventKind::kAutoscaleEval || k == EventKind::kHostCrash ||
+         k == EventKind::kPartitionStart || k == EventKind::kPartitionEnd;
 }
 
 }  // namespace
@@ -367,11 +371,14 @@ void FleetEngine::run_loop_parallel(const Scenario& s,
         break;
       case EventKind::kHostEvent:
       case EventKind::kAutoscaleEval:
-        // Topology may change here: add_shard can reallocate shards_ and a
-        // drain rewrites foreign tenants' state, either of which would
-        // race in-flight lane work. Wait out every boot first; the pushes
-        // all land strictly after top.time (their horizon has not been
-        // reached), so `top` is still the queue's head.
+      case EventKind::kHostCrash:
+      case EventKind::kPartitionStart:
+      case EventKind::kPartitionEnd:
+        // Topology may change here: add_shard can reallocate shards_, and a
+        // drain or crash rewrites foreign tenants' state, either of which
+        // would race in-flight lane work. Wait out every boot first; the
+        // pushes all land strictly after top.time (their horizon has not
+        // been reached), so `top` is still the queue's head.
         ctx.harvest(0, /*all=*/true);
         process_event(queue_.pop(), s, arrivals, last_event);
         ctx.ensure_topology();
@@ -526,6 +533,15 @@ void FleetEngine::window_step(ShardTask& task, const Event& e,
       r.count_tenant = !t.counted_in_stats;
       t.counted_in_stats = true;
       r.sample_ms = sim::to_millis(t.outcome.boot_latency);
+      if (t.crash_fault >= 0) {
+        // Crash recovery resolves here; the verdict update itself is a
+        // report_ mutation, so it rides the record into the replay.
+        r.recovery_fault = t.crash_fault;
+        r.recovery_ms = sim::to_millis(
+            t.clock.now() -
+            faults_[static_cast<std::size_t>(t.crash_fault)].time);
+        t.crash_fault = -1;
+      }
       if (t.phases.empty()) {
         r.gen = true;
         r.gen_kind = EventKind::kTeardown;
@@ -591,6 +607,9 @@ void FleetEngine::window_step(ShardTask& task, const Event& e,
     case EventKind::kArrival:
     case EventKind::kHostEvent:
     case EventKind::kAutoscaleEval:
+    case EventKind::kHostCrash:
+    case EventKind::kPartitionStart:
+    case EventKind::kPartitionEnd:
       break;  // never extracted into a window
   }
   if (r.gen && r.gen_kind != EventKind::kArrival && birth_in_window(r.gen_time)) {
@@ -627,6 +646,14 @@ void FleetEngine::replay_record(ShardTask& task, const WorkerRecord& r,
         }
         slot->boot_ms.add(r.sample_ms);
         report_.cluster_boot_ms.add(r.sample_ms);
+        if (r.recovery_fault >= 0) {
+          auto& rv =
+              report_.recovery[static_cast<std::size_t>(r.recovery_fault)];
+          rv.replace_ms.add(r.recovery_ms);
+          ++rv.readmitted;
+          ++report_.crash_readmitted;
+          report_.replace_ms.add(r.recovery_ms);
+        }
         break;
       }
       case EventKind::kPhaseDone:

@@ -33,6 +33,10 @@ enum class EventKind {
   kHostEvent,      // timed operator hook: add or drain a host (tenant field
                    //   indexes Scenario::host_events)
   kAutoscaleEval,  // periodic watermark evaluation (tenant field unused)
+  kHostCrash,      // fault injection: a host (or rack) dies; tenant field
+                   //   indexes the run's resolved fault schedule (chaos.h)
+  kPartitionStart,  // network partition opens on the fault's hosts
+  kPartitionEnd,    // ...and heals; barrier marker, stall is precomputed
 };
 
 struct Event {

@@ -83,6 +83,48 @@ std::string FleetReport::to_text() const {
              fmt("%.1f", 100.0 * a.resident_fraction) + "%)\n";
     }
   }
+  // Chaos section: rendered only for runs that injected faults, so
+  // fault-free goldens stay byte-identical.
+  if (!recovery.empty()) {
+    out += "chaos: " + std::to_string(recovery.size()) + " faults; " +
+           std::to_string(crash_victims) + " victims, " +
+           std::to_string(crash_readmitted) + " re-admitted (" +
+           fmt("%.1f", 100.0 * readmission_fraction()) + "%), " +
+           std::to_string(crash_lost) + " lost";
+    if (nic_stalls > 0) {
+      out += "; " + std::to_string(nic_stalls) + " NIC completions stalled";
+    }
+    out += "\n";
+    for (const RecoveryVerdict& v : recovery) {
+      out += "  t=" + fmt("%.2f", sim::to_millis(v.time)) + " ms  " + v.kind;
+      if (!v.rack.empty()) {
+        out += " rack " + v.rack;
+      }
+      out += " host(s)";
+      for (const int h : v.hosts) {
+        out += " " + std::to_string(h);
+      }
+      if (v.kind == "partition") {
+        out += " for " + fmt("%.2f", sim::to_millis(v.duration)) + " ms";
+      } else {
+        out += ": " + std::to_string(v.victims) + " victims, " +
+               std::to_string(v.readmitted) + " re-admitted, " +
+               std::to_string(v.lost) + " lost";
+        if (!v.replace_ms.empty()) {
+          out += "; re-place p50 " + fmt("%.2f", v.replace_ms.percentile(50)) +
+                 " ms, p99 " + fmt("%.2f", v.replace_ms.percentile(99)) +
+                 " ms";
+        }
+      }
+      out += "\n";
+    }
+    if (!replace_ms.empty()) {
+      out += "recovery: time-to-re-place p50 " +
+             fmt("%.2f", replace_ms.percentile(50)) + " ms, p99 " +
+             fmt("%.2f", replace_ms.percentile(99)) + " ms over " +
+             std::to_string(replace_ms.size()) + " re-placements\n";
+    }
+  }
   out += "\n";
 
   stats::Table table({"platform", "tenants", "boot p50 (ms)", "boot p90 (ms)",
@@ -109,10 +151,13 @@ std::string FleetReport::to_text() const {
                              "peak resident (GiB)", "ksm shared pages",
                              "hap fns", "extended HAP"});
     bool any_drained = false;
+    bool any_crashed = false;
     for (const HostRollup& h : hosts) {
       any_drained = any_drained || h.drained;
+      any_crashed = any_crashed || h.crashed;
       host_table.add_row(
-          {std::to_string(h.host) + (h.drained ? "*" : ""),
+          {std::to_string(h.host) +
+               (h.drained ? "*" : h.crashed ? "!" : ""),
            std::to_string(h.admitted),
            std::to_string(h.rejected), std::to_string(h.spill_in),
            std::to_string(h.spill_out), std::to_string(h.peak_active),
@@ -125,6 +170,9 @@ std::string FleetReport::to_text() const {
     out += host_table.to_text();
     if (any_drained) {
       out += "(* = host was drained mid-run)\n";
+    }
+    if (any_crashed) {
+      out += "(! = host crashed mid-run)\n";
     }
   }
   return out;

@@ -89,6 +89,11 @@ struct HostRollup {
   /// True once the host was drained (autoscale scale-in or an explicit
   /// HostEvent): its tenants were re-placed and it stopped taking new ones.
   bool drained = false;
+  /// True once the host crashed (chaos.h kHostCrash): its tenants died
+  /// mid-phase and its page cache and KSM stable tree were lost.
+  bool crashed = false;
+  /// NIC-bound completions on this host stretched by a partition window.
+  int nic_stalls = 0;
   int peak_active = 0;
   std::uint64_t peak_resident_bytes = 0;
   FleetKsmStats ksm;
@@ -163,6 +168,45 @@ class FleetReport {
     double resident_fraction = 0.0;
   };
   std::vector<AutoscaleAction> autoscale_timeline;
+
+  /// Outcome of one injected fault (chaos.h), indexed by fault id. Crash
+  /// verdicts carry the recovery SLO numbers: how many tenants died, how
+  /// many made it back through placement + admission, how many were
+  /// permanently lost, and the time-to-re-place distribution (crash
+  /// instant to the victim's re-boot completing on a survivor). Partition
+  /// verdicts record the window for the timeline. Empty for fault-free
+  /// runs, which keeps their to_text() byte-identical to the pinned
+  /// goldens.
+  struct RecoveryVerdict {
+    int fault = 0;
+    std::string kind;  // "crash" / "partition"
+    std::string rack;  // correlated-fault label; empty for single-host
+    sim::Nanos time = 0;
+    sim::Nanos duration = 0;    // partitions only
+    std::vector<int> hosts;     // live hosts the fault actually hit
+    int victims = 0;            // tenants killed mid-flight
+    int readmitted = 0;         // victims re-admitted on a survivor
+    int lost = 0;               // victims rejected on re-arrival
+    stats::SampleSet replace_ms;  // crash instant -> re-boot served
+  };
+  std::vector<RecoveryVerdict> recovery;
+
+  /// Fleet totals across every crash fault.
+  int crash_victims = 0;
+  int crash_readmitted = 0;
+  int crash_lost = 0;
+  /// Time-to-re-place over every crash victim that booted again.
+  stats::SampleSet replace_ms;
+  /// NIC-bound completions stretched by a partition, fleet-wide.
+  int nic_stalls = 0;
+
+  /// Fraction of crash victims that made it back through admission.
+  double readmission_fraction() const {
+    return crash_victims == 0
+               ? 0.0
+               : static_cast<double>(crash_readmitted) /
+                     static_cast<double>(crash_victims);
+  }
 
   /// Live (non-drained) hosts when the run ended.
   int final_host_count = 0;

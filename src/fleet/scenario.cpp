@@ -1,5 +1,7 @@
 #include "fleet/scenario.h"
 
+#include <algorithm>
+
 namespace fleet {
 
 std::string arrival_pattern_name(ArrivalPattern p) {
@@ -112,6 +114,74 @@ Scenario Scenario::autoscale_storm(int tenants, int hosts, int max_hosts) {
   // Never shrink below the starting topology: without this floor the very
   // first evaluation (before load arrives) would scale the idle fleet in.
   s.autoscale.min_hosts = hosts;
+  return s;
+}
+
+Scenario Scenario::crash_recovery(int tenants, int hosts, int max_hosts) {
+  Scenario s = autoscale_storm(tenants, hosts, max_hosts);
+  s.name = "crash-recovery";
+  // RAM-tight hosts, tuned so the fixed topology rides *under* the
+  // scale-out watermark on its own (the fault-free control run never
+  // scales) and the crash — lost capacity plus the victim re-admission
+  // surge on the survivors — pushes it over: the crash itself triggers
+  // scale-out.
+  const std::uint64_t per_tenant = s.guest_ram_bytes / 2 + s.image_bytes;
+  s.cluster.ram_bytes = per_tenant * static_cast<std::uint64_t>(tenants) * 5 /
+                        static_cast<std::uint64_t>(8 * std::max(1, hosts));
+  Fault crash;
+  crash.kind = Fault::Kind::kCrash;
+  crash.time = sim::millis(150);  // mid-ramp: victims and fresh arrivals mix
+  crash.host = 0;
+  crash.restart_delay = sim::millis(25);
+  crash.restart_jitter = sim::millis(50);
+  s.faults.timed.push_back(crash);
+  return s;
+}
+
+Scenario Scenario::rack_outage(int tenants, int hosts) {
+  Scenario s = cluster_storm(tenants, hosts, PlacementKind::kLeastPressure);
+  s.name = "rack-outage";
+  s.arrival = ArrivalPattern::kRamp;
+  s.arrival_window = sim::millis(300);
+  // Two failure domains: r0 takes the first half of the hosts, r1 the rest.
+  ClusterTopology::Rack r0{"r0", {}};
+  ClusterTopology::Rack r1{"r1", {}};
+  for (int h = 0; h < hosts; ++h) {
+    (h < hosts / 2 ? r0 : r1).hosts.push_back(h);
+  }
+  s.cluster.racks = {r0, r1};
+  Fault crash;
+  crash.kind = Fault::Kind::kCrash;
+  crash.time = sim::millis(100);
+  crash.rack = "r0";
+  crash.restart_delay = sim::millis(25);
+  crash.restart_jitter = sim::millis(50);
+  s.faults.timed.push_back(crash);
+  return s;
+}
+
+Scenario Scenario::partition_storm(int tenants, int hosts) {
+  Scenario s = cluster_storm(tenants, hosts, PlacementKind::kLeastPressure);
+  s.name = "partition-storm";
+  // Network-heavy phases so the partition's stall is visible in makespan
+  // and phase percentiles, not just the NIC-stall counter.
+  s.workload_mix = {
+      {platforms::WorkloadClass::kNetwork, 0.6},
+      {platforms::WorkloadClass::kCpu, 0.4},
+  };
+  s.phases_per_tenant = 2;
+  s.mean_phase_duration = sim::millis(60);
+  ClusterTopology::Rack r0{"r0", {}};
+  for (int h = 0; h < (hosts + 1) / 2; ++h) {
+    r0.hosts.push_back(h);
+  }
+  s.cluster.racks = {r0};
+  Fault part;
+  part.kind = Fault::Kind::kPartition;
+  part.time = sim::millis(30);
+  part.rack = "r0";
+  part.duration = sim::millis(40);
+  s.faults.timed.push_back(part);
   return s;
 }
 

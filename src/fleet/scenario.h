@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/chaos.h"
 #include "fleet/placement.h"
 #include "platforms/platform.h"
 #include "sim/time.h"
@@ -29,6 +30,15 @@ struct ClusterTopology {
   int cpu_threads = 0;
   std::uint64_t ram_bytes = 0;
   double nic_gbps = 0.0;
+
+  /// Named failure domains for correlated faults: a rack groups host
+  /// indices (into the initial topology) that one Fault can crash or
+  /// partition at a single instant.
+  struct Rack {
+    std::string name;
+    std::vector<int> hosts;
+  };
+  std::vector<Rack> racks;
 };
 
 /// Watermark-driven mid-run cluster resizing. The engine emits periodic
@@ -142,6 +152,11 @@ struct Scenario {
   AutoscaleSpec autoscale;
   /// Explicit timed add/drain hooks, evaluated alongside the autoscaler.
   std::vector<HostEvent> host_events;
+  /// Fault injection (chaos.h): timed and seeded-random host crashes,
+  /// network partitions, and rack-correlated faults. Resolved and
+  /// validated at run start, then injected as first-class events on the
+  /// same global deterministic queue as everything else.
+  FaultSpec faults;
   /// Worker threads for the engine's parallel execution mode (cluster runs
   /// only; single-host runs ignore it). 1 = the sequential loop. Any value
   /// produces byte-identical reports — threads is an execution knob, not a
@@ -195,6 +210,21 @@ struct Scenario {
   /// can track the pressure. With max_hosts == hosts this is the fixed-
   /// topology control for the same traffic.
   static Scenario autoscale_storm(int tenants, int hosts, int max_hosts);
+
+  /// Headline chaos scenario: a RAM-tight autoscaled storm where one host
+  /// crashes mid-storm. Its victims surge back through placement and
+  /// admission on the survivors, the lost capacity pushes the resident
+  /// fraction over the scale-out watermark, and the recovery verdict
+  /// records time-to-re-place percentiles and the re-admission fraction.
+  static Scenario crash_recovery(int tenants, int hosts, int max_hosts);
+
+  /// Correlated failure: the hosts split into two named racks and one
+  /// whole rack crashes at a single instant mid-storm.
+  static Scenario rack_outage(int tenants, int hosts);
+
+  /// Network chaos: a mid-run partition stalls NIC phases (and image-pull
+  /// boots) on half the fleet; completions stretch by the overlap.
+  static Scenario partition_storm(int tenants, int hosts);
 };
 
 }  // namespace fleet

@@ -61,6 +61,34 @@ void expect_identical(const FleetReport& a, const FleetReport& b,
   EXPECT_EQ(a.hap.distinct_functions, b.hap.distinct_functions);
   EXPECT_EQ(a.hap.total_invocations, b.hap.total_invocations);
   EXPECT_EQ(a.hap.extended_hap, b.hap.extended_hap);
+  EXPECT_EQ(a.crash_victims, b.crash_victims);
+  EXPECT_EQ(a.crash_readmitted, b.crash_readmitted);
+  EXPECT_EQ(a.crash_lost, b.crash_lost);
+  EXPECT_EQ(a.nic_stalls, b.nic_stalls);
+  ASSERT_EQ(a.replace_ms.size(), b.replace_ms.size());
+  if (!a.replace_ms.empty()) {
+    EXPECT_EQ(a.replace_ms.percentile(50), b.replace_ms.percentile(50));
+    EXPECT_EQ(a.replace_ms.percentile(99), b.replace_ms.percentile(99));
+  }
+
+  ASSERT_EQ(a.recovery.size(), b.recovery.size());
+  for (std::size_t i = 0; i < a.recovery.size(); ++i) {
+    const auto& ra = a.recovery[i];
+    const auto& rb = b.recovery[i];
+    EXPECT_EQ(ra.fault, rb.fault) << "fault " << i;
+    EXPECT_EQ(ra.kind, rb.kind) << "fault " << i;
+    EXPECT_EQ(ra.rack, rb.rack) << "fault " << i;
+    EXPECT_EQ(ra.time, rb.time) << "fault " << i;
+    EXPECT_EQ(ra.hosts, rb.hosts) << "fault " << i;
+    EXPECT_EQ(ra.victims, rb.victims) << "fault " << i;
+    EXPECT_EQ(ra.readmitted, rb.readmitted) << "fault " << i;
+    EXPECT_EQ(ra.lost, rb.lost) << "fault " << i;
+    ASSERT_EQ(ra.replace_ms.size(), rb.replace_ms.size()) << "fault " << i;
+    if (!ra.replace_ms.empty()) {
+      EXPECT_EQ(ra.replace_ms.percentile(99), rb.replace_ms.percentile(99))
+          << "fault " << i;
+    }
+  }
 
   ASSERT_EQ(a.tenants.size(), b.tenants.size());
   for (std::size_t i = 0; i < a.tenants.size(); ++i) {
@@ -86,6 +114,8 @@ void expect_identical(const FleetReport& a, const FleetReport& b,
     EXPECT_EQ(ha.spill_in, hb.spill_in) << "host " << i;
     EXPECT_EQ(ha.spill_out, hb.spill_out) << "host " << i;
     EXPECT_EQ(ha.drained, hb.drained) << "host " << i;
+    EXPECT_EQ(ha.crashed, hb.crashed) << "host " << i;
+    EXPECT_EQ(ha.nic_stalls, hb.nic_stalls) << "host " << i;
     EXPECT_EQ(ha.peak_active, hb.peak_active) << "host " << i;
     EXPECT_EQ(ha.peak_resident_bytes, hb.peak_resident_bytes) << "host " << i;
     EXPECT_EQ(ha.ksm.backing_pages, hb.ksm.backing_pages) << "host " << i;
@@ -185,6 +215,31 @@ TEST(FleetParallelTest, RandomizedScenariosMatchSequential) {
     }
     ++variant;
   }
+}
+
+TEST(FleetParallelTest, ChaosBuiltinsMatchSequential) {
+  // Faults are coordinator events: a crash or partition boundary must land
+  // at the same (time, seq) point in every worker's replayed stream, so
+  // victims, re-admission timing and NIC stalls agree field-for-field.
+  expect_parallel_identical(Scenario::crash_recovery(600, 4, 8),
+                            "crash-recovery");
+  expect_parallel_identical(Scenario::rack_outage(240, 6), "rack-outage");
+  expect_parallel_identical(Scenario::partition_storm(240, 4),
+                            "partition-storm");
+}
+
+TEST(FleetParallelTest, RandomFaultScheduleMatchesSequential) {
+  // The random schedule is drawn from the scenario seed before the run
+  // starts, so the parallel engine sees the identical fault list.
+  Scenario s = Scenario::cluster_storm(400, 4, PlacementKind::kLeastPressure);
+  s.arrival = fleet::ArrivalPattern::kRamp;
+  s.arrival_window = sim::millis(200);
+  s.phases_per_tenant = 2;
+  s.mean_phase_duration = sim::millis(120);
+  s.faults.random_crashes = 1;
+  s.faults.random_partitions = 1;
+  s.faults.random_horizon = sim::millis(150);
+  expect_parallel_identical(s, "random-faults");
 }
 
 // --- The knob is an execution detail ---------------------------------------

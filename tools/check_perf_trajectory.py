@@ -32,6 +32,14 @@ and the events_per_sec floor. A fresh file without the block (a local run
 that skipped --threads) warns and skips; CI always passes the matching
 --threads list, so the gate is live where it matters.
 
+schema_version 6 adds a "chaos" block (fleet_scale --chaos): the
+crash-recovery storm — a mid-ramp host crash on a RAM-tight autoscaled
+fleet — with its recovery SLOs. Gated config-matched at the committed
+(hosts, max_hosts, tenants) on wall-clock ratio and the events_per_sec
+floor; changed event counts or recovery outcomes (victims, re-admission
+fraction, time-to-re-place p99) are reported as behavior changes, since
+the chaos suite's determinism tests pin them separately.
+
 Usage:
   check_perf_trajectory.py FRESH.json COMMITTED.json \
       [--tenants 1000] [--max-ratio 3.0]
@@ -232,6 +240,54 @@ def check_autoscale(fresh_doc, committed_doc, max_ratio):
     return ratio > max_ratio
 
 
+def check_chaos(fresh_doc, committed_doc, max_ratio):
+    """Gate the crash-recovery chaos run; returns True on failure."""
+    base = committed_doc.get("chaos")
+    fresh = fresh_doc.get("chaos")
+    if base is None:
+        return False  # nothing committed to gate against
+    if fresh is None:
+        print("  chaos run         MISSING from fresh results")
+        return True
+    config = (base.get("hosts"), base.get("max_hosts"), base.get("tenants"))
+    fresh_config = (fresh.get("hosts"), fresh.get("max_hosts"),
+                    fresh.get("tenants"))
+    if fresh_config != config:
+        print(f"  chaos run         config mismatch: committed "
+              f"{config}, fresh {fresh_config} -- skipped, not gated")
+        return False
+    base_run = base.get("run", {})
+    fresh_run = fresh.get("run", {})
+    if fresh_run.get("wall_ms", 0.0) <= 0.0:
+        print("  chaos run         fresh results carry no wall_ms")
+        return True
+    if base_run.get("wall_ms", 0.0) <= 0.0:
+        print("  chaos run         committed results carry no wall_ms")
+        return True
+    ratio = fresh_run["wall_ms"] / base_run["wall_ms"]
+    verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+    print(f"chaos crash-recovery at {config[2]} tenants, "
+          f"{config[0]} -> {config[1]} hosts:")
+    print(f"  wall              committed {base_run.get('wall_ms', 0.0):8.1f} ms   "
+          f"fresh {fresh_run.get('wall_ms', 0.0):8.1f} ms   ratio {ratio:4.2f}x   "
+          f"{verdict}")
+    failed = ratio > max_ratio
+    if throughput_floor_failed("chaos", base_run, fresh_run, max_ratio):
+        failed = True
+    if fresh_run.get("events") != base_run.get("events"):
+        print(f"  note: events changed {base_run.get('events')} -> "
+              f"{fresh_run.get('events')} (chaos behavior change — the "
+              f"chaos determinism tests pin the report, not this gate)")
+    base_rec = base.get("recovery", {})
+    fresh_rec = fresh.get("recovery", {})
+    for key in ("victims", "readmitted", "lost", "readmission_fraction",
+                "replace_p99_ms", "scale_outs"):
+        if fresh_rec.get(key) != base_rec.get(key):
+            print(f"  note: {key} changed {base_rec.get(key)} -> "
+                  f"{fresh_rec.get(key)} (recovery behavior change)")
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh", help="JSON from the CI run")
@@ -278,6 +334,8 @@ def main():
     if check_parallel(fresh_doc, committed_doc, args.max_ratio):
         failed = True
     if check_autoscale(fresh_doc, committed_doc, args.max_ratio):
+        failed = True
+    if check_chaos(fresh_doc, committed_doc, args.max_ratio):
         failed = True
     return 1 if failed else 0
 
