@@ -32,8 +32,16 @@
 // land in the JSON as a "chaos" block, so the perf gate tracks fault
 // turbulence next to clean-path throughput.
 //
+// With --cells CELLSxHOSTSxTENANTS[,...] the federation storm (the same
+// cold-start storm routed across K cluster cells, federation.h) runs once
+// per routing policy at each shape, each run performed twice against
+// fresh federations — byte-identical or bust, the same determinism
+// contract every other sweep enforces — and lands in the JSON as a
+// "federation" list with per-routing wall clock and inter-cell spills.
+//
 // Usage: fleet_scale [--tenants N[,N...]] [--hosts M]
 //                    [--clusters NxM[,NxM...]] [--threads N[,N...]]
+//                    [--cells KxMxN[,KxMxN...]]
 //                    [--autoscale] [--chaos] [--out PATH] [--no-json]
 #include <algorithm>
 #include <chrono>
@@ -48,6 +56,7 @@
 #include "core/host_system.h"
 #include "fleet/cluster.h"
 #include "fleet/engine.h"
+#include "fleet/federation.h"
 #include "fleet/placement.h"
 #include "fleet/report.h"
 #include "fleet/scenario.h"
@@ -352,6 +361,76 @@ bool run_chaos(int tenants, int hosts, ChaosResult* out) {
   return true;
 }
 
+/// One routing policy's run of the federation storm at one shape.
+struct FederationRunResult {
+  std::string routing;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;  // summed over the final per-cell runs
+  double events_per_sec = 0.0;
+  int admitted = 0;
+  int rejected = 0;
+  int completed = 0;
+  int spills = 0;  // inter-cell moves
+  double makespan_ms = 0.0;
+};
+
+/// One federation sweep shape (K cells x M hosts each x N tenants) and its
+/// per-routing results.
+struct FederationBlock {
+  int cells = 0;
+  int hosts_per_cell = 0;
+  int tenants = 0;
+  std::vector<FederationRunResult> runs;
+};
+
+/// One federation run against fresh cells; fills wall-clock and returns
+/// the report for the determinism check.
+fleet::FederationReport run_federation_once(
+    const fleet::FederatedScenario& fs, double* wall_ms) {
+  fleet::Federation fed(fs.topology);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = fed.run(fs);
+  const auto t1 = std::chrono::steady_clock::now();
+  *wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return report;
+}
+
+/// The federation storm at one shape, once per routing policy, each run
+/// twice (byte-identical or bust). Returns false on a determinism
+/// violation.
+bool run_federation_sweep(FederationBlock* block) {
+  for (const fleet::RoutingKind kind : fleet::all_routing_kinds()) {
+    const auto fs = fleet::FederatedScenario::federation_storm(
+        block->tenants, block->cells, block->hosts_per_cell, kind);
+    double wall_a = 0.0;
+    double wall_b = 0.0;
+    const auto a = run_federation_once(fs, &wall_a);
+    const auto b = run_federation_once(fs, &wall_b);
+    if (a.to_text() != b.to_text() ||
+        a.events_processed != b.events_processed) {
+      std::fprintf(stderr,
+                   "fleet_scale: DETERMINISM VIOLATION — federation storm "
+                   "(%s) produced different reports across two fresh runs\n",
+                   fleet::routing_kind_name(kind).c_str());
+      return false;
+    }
+    FederationRunResult r;
+    r.routing = fleet::routing_kind_name(kind);
+    r.wall_ms = std::min(wall_a, wall_b);
+    r.events = a.events_processed;
+    r.events_per_sec =
+        r.wall_ms > 0.0 ? static_cast<double>(r.events) / (r.wall_ms / 1e3)
+                        : 0.0;
+    r.admitted = a.admitted;
+    r.rejected = a.rejected;
+    r.completed = a.completed;
+    r.spills = a.spills;
+    r.makespan_ms = sim::to_millis(a.makespan);
+    block->runs.push_back(r);
+  }
+  return true;
+}
+
 /// One thread count of the parallel sweep.
 struct ParallelSweepResult {
   int threads = 0;
@@ -455,6 +534,47 @@ bool parse_cluster_configs(const char* arg, std::vector<ClusterBlock>* out) {
   }
 }
 
+/// Parse a --cells list: "CELLSxHOSTSxTENANTS[,...]".
+bool parse_federation_configs(const char* arg,
+                              std::vector<FederationBlock>* out) {
+  std::string token;
+  const auto flush = [&]() {
+    if (token.empty()) {
+      return true;
+    }
+    const auto x1 = token.find('x');
+    if (x1 == std::string::npos || x1 == 0) {
+      return false;
+    }
+    const auto x2 = token.find('x', x1 + 1);
+    if (x2 == std::string::npos || x2 == x1 + 1 || x2 + 1 >= token.size()) {
+      return false;
+    }
+    FederationBlock block;
+    block.cells = std::atoi(token.substr(0, x1).c_str());
+    block.hosts_per_cell = std::atoi(token.substr(x1 + 1, x2 - x1 - 1).c_str());
+    block.tenants = std::atoi(token.substr(x2 + 1).c_str());
+    token.clear();
+    if (block.cells <= 0 || block.hosts_per_cell <= 0 || block.tenants <= 0) {
+      return false;
+    }
+    out->push_back(block);
+    return true;
+  };
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!flush()) {
+        return false;
+      }
+      if (*p == '\0') {
+        return true;
+      }
+    } else {
+      token += *p;
+    }
+  }
+}
+
 std::vector<int> parse_sizes(const char* arg) {
   std::vector<int> sizes;
   std::string token;
@@ -537,7 +657,8 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                 const std::vector<ClusterBlock>& clusters,
                 const ParallelSweep* parallel,
                 const RetryDifferentialResult* retry,
-                const AutoscaleResult* autoscale, const ChaosResult* chaos) {
+                const AutoscaleResult* autoscale, const ChaosResult* chaos,
+                const std::vector<FederationBlock>& federations) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "fleet_scale: cannot write %s\n", path.c_str());
@@ -545,7 +666,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
-  std::fprintf(f, "  \"schema_version\": 6,\n");
+  std::fprintf(f, "  \"schema_version\": 7,\n");
   std::fprintf(f, "  \"unit\": {\"wall_ms\": \"milliseconds\", "
                   "\"events_per_sec\": \"simulator events per second\"},\n");
   std::fprintf(f, "  \"runs\": [\n");
@@ -620,7 +741,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   const bool more = !clusters.empty() || parallel != nullptr ||
                     autoscale != nullptr || retry != nullptr ||
-                    chaos != nullptr;
+                    chaos != nullptr || !federations.empty();
   std::fprintf(f, "}%s\n", more ? "," : "");
   if (!clusters.empty()) {
     std::fprintf(f, "  \"clusters\": [\n");
@@ -657,7 +778,8 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     }
     std::fprintf(f, "  ]%s\n",
                  parallel != nullptr || retry != nullptr ||
-                         autoscale != nullptr || chaos != nullptr
+                         autoscale != nullptr || chaos != nullptr ||
+                         !federations.empty()
                      ? ","
                      : "");
   }
@@ -682,7 +804,8 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                    i + 1 < parallel->runs.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n  }%s\n",
-                 retry != nullptr || autoscale != nullptr || chaos != nullptr
+                 retry != nullptr || autoscale != nullptr ||
+                         chaos != nullptr || !federations.empty()
                      ? ","
                      : "");
   }
@@ -703,7 +826,10 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  retry->retry_admitted, retry->single_shot_admitted,
                  retry->spills, retry->wall_ms);
     std::fprintf(f, "  }%s\n",
-                 autoscale != nullptr || chaos != nullptr ? "," : "");
+                 autoscale != nullptr || chaos != nullptr ||
+                         !federations.empty()
+                     ? ","
+                     : "");
   }
   if (autoscale != nullptr) {
     const AutoscaleResult& r = *autoscale;
@@ -729,7 +855,8 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     std::fprintf(f, "    \"fixed_topology\": {\"admitted\": %d, "
                     "\"tenants_admitted\": %d}\n",
                  r.fixed_admitted, r.fixed_tenants_admitted);
-    std::fprintf(f, "  }%s\n", chaos != nullptr ? "," : "");
+    std::fprintf(f, "  }%s\n",
+                 chaos != nullptr || !federations.empty() ? "," : "");
   }
   if (chaos != nullptr) {
     const ChaosResult& r = *chaos;
@@ -752,7 +879,39 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  "\"scale_outs\": %d}\n",
                  r.victims, r.readmitted, r.lost, r.readmission_fraction,
                  r.replace_p50_ms, r.replace_p99_ms, r.scale_outs);
-    std::fprintf(f, "  }\n");
+    std::fprintf(f, "  }%s\n", federations.empty() ? "" : ",");
+  }
+  if (!federations.empty()) {
+    std::fprintf(f, "  \"federation\": [\n");
+    for (std::size_t c = 0; c < federations.size(); ++c) {
+      const FederationBlock& block = federations[c];
+      std::fprintf(f, "    {\n");
+      std::fprintf(f, "      \"scenario\": \"federation-storm\",\n");
+      std::fprintf(f, "      \"cells\": %d,\n", block.cells);
+      std::fprintf(f, "      \"hosts_per_cell\": %d,\n", block.hosts_per_cell);
+      std::fprintf(f, "      \"tenants\": %d,\n", block.tenants);
+      std::fprintf(f, "      \"determinism\": \"each routing policy run "
+                      "twice against fresh federations, reports "
+                      "byte-identical\",\n");
+      std::fprintf(f, "      \"runs\": [\n");
+      for (std::size_t i = 0; i < block.runs.size(); ++i) {
+        const FederationRunResult& r = block.runs[i];
+        std::fprintf(f,
+                     "        {\"routing\": \"%s\", \"wall_ms\": %.1f, "
+                     "\"events\": %llu, \"events_per_sec\": %.0f, "
+                     "\"admitted\": %d, \"rejected\": %d, "
+                     "\"completed\": %d, \"spills\": %d, "
+                     "\"makespan_ms\": %.2f}%s\n",
+                     r.routing.c_str(), r.wall_ms,
+                     static_cast<unsigned long long>(r.events),
+                     r.events_per_sec, r.admitted, r.rejected, r.completed,
+                     r.spills, r.makespan_ms,
+                     i + 1 < block.runs.size() ? "," : "");
+      }
+      std::fprintf(f, "      ]\n    }%s\n",
+                   c + 1 < federations.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
   }
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -769,6 +928,7 @@ int main(int argc, char** argv) {
   bool chaos = false;
   int hosts = 1;
   std::vector<ClusterBlock> extra_clusters;
+  std::vector<FederationBlock> federations;
   std::vector<int> thread_counts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
@@ -779,6 +939,13 @@ int main(int argc, char** argv) {
       if (!parse_cluster_configs(argv[++i], &extra_clusters)) {
         std::fprintf(stderr,
                      "fleet_scale: --clusters wants TENANTSxHOSTS[,...] "
+                     "with positive integers\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
+      if (!parse_federation_configs(argv[++i], &federations)) {
+        std::fprintf(stderr,
+                     "fleet_scale: --cells wants CELLSxHOSTSxTENANTS[,...] "
                      "with positive integers\n");
         return 2;
       }
@@ -809,6 +976,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fleet_scale [--tenants N[,N...]] [--hosts M] "
                    "[--clusters NxM[,NxM...]] [--threads N[,N...]] "
+                   "[--cells KxMxN[,KxMxN...]] "
                    "[--autoscale] [--chaos] [--out PATH] [--no-json]\n");
       return 2;
     }
@@ -986,12 +1154,35 @@ int main(int argc, char** argv) {
                 chaos_result.scale_outs, chaos_result.wall_ms);
   }
 
+  for (FederationBlock& block : federations) {
+    std::printf("\nfederation-storm: %d tenants routed across %d cells x %d "
+                "hosts, every routing policy run twice\n\n",
+                block.tenants, block.cells, block.hosts_per_cell);
+    if (!run_federation_sweep(&block)) {
+      return 1;
+    }
+    stats::Table fed_table({"routing", "wall (ms)", "events/sec", "admitted",
+                            "rejected", "completed", "spills",
+                            "makespan (ms)"});
+    for (const FederationRunResult& r : block.runs) {
+      fed_table.add_row(
+          {r.routing, stats::Table::num(r.wall_ms),
+           stats::Table::num(r.events_per_sec, 0), std::to_string(r.admitted),
+           std::to_string(r.rejected), std::to_string(r.completed),
+           std::to_string(r.spills), stats::Table::num(r.makespan_ms)});
+    }
+    std::printf("%s\n", fed_table.to_text().c_str());
+    std::printf("determinism: %zu routings x 2 fresh runs each, reports "
+                "byte-identical\n",
+                block.runs.size());
+  }
+
   if (json) {
     write_json(out, runs, clusters,
                want_parallel ? &parallel_sweep : nullptr,
                hosts > 1 ? &retry_result : nullptr,
                autoscale ? &autoscale_result : nullptr,
-               chaos ? &chaos_result : nullptr);
+               chaos ? &chaos_result : nullptr, federations);
   }
   return 0;
 }

@@ -65,6 +65,17 @@ std::vector<ResolvedFault> resolve_faults(const Scenario& s,
       }
       r.duration = f.duration;
     }
+    if (f.kind == Fault::Kind::kCellOutage) {
+      // The whole failure domain goes dark at once: every host of the
+      // initial topology. Host/rack targeting is ignored by design —
+      // the cell IS the target.
+      r.hosts.resize(static_cast<std::size_t>(initial_hosts));
+      for (int h = 0; h < initial_hosts; ++h) {
+        r.hosts[static_cast<std::size_t>(h)] = h;
+      }
+      out.push_back(std::move(r));
+      return;
+    }
     if (!f.rack.empty()) {
       const ClusterTopology::Rack* rack = nullptr;
       for (const ClusterTopology::Rack& candidate : s.cluster.racks) {

@@ -22,6 +22,11 @@
 //    touches the wire).
 //  * Rack fault: a named group of hosts (ClusterTopology::racks) crashes
 //    or partitions at one instant — the correlated-failure case.
+//  * Cell outage: every host of the initial topology crashes at one
+//    instant — the whole failure domain goes dark. Standalone, every
+//    victim is lost (there are no survivors to re-place onto); under a
+//    Federation (federation.h) the stranded victims re-route through the
+//    global router to another cell.
 #pragma once
 
 #include <string>
@@ -35,12 +40,13 @@ struct Scenario;
 
 /// One injected fault, as the scenario author writes it.
 struct Fault {
-  enum class Kind { kCrash, kPartition };
+  enum class Kind { kCrash, kPartition, kCellOutage };
   Kind kind = Kind::kCrash;
   /// Injection instant (virtual time).
   sim::Nanos time = 0;
   /// Target host index into the initial topology. Ignored when `rack` is
-  /// set, which targets every member of that rack at the same instant.
+  /// set, which targets every member of that rack at the same instant, and
+  /// for kCellOutage, which targets the entire initial topology.
   int host = 0;
   /// Named rack (ClusterTopology::racks) for correlated faults.
   std::string rack;

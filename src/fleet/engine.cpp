@@ -804,7 +804,10 @@ void FleetEngine::handle_fault(const Event& e, const Scenario& s) {
     report_.recovery.push_back(std::move(v));
     return;
   }
-  v.kind = "crash";
+  // A cell outage resolves to every initial host (chaos.h) and otherwise
+  // follows crash semantics; the verdict keeps its own kind so a federation
+  // (and the report reader) can tell total loss from a single-host crash.
+  v.kind = f.kind == Fault::Kind::kCellOutage ? "cell-outage" : "crash";
   // Per-fault restart-jitter stream: victims draw from it in tenant-id
   // order, never from their own RNGs, so victim workloads replay
   // identically after the crash.
@@ -898,6 +901,9 @@ void FleetEngine::note_crash_loss(Tenant& t) {
   }
   ++report_.recovery[static_cast<std::size_t>(t.crash_fault)].lost;
   ++report_.crash_lost;
+  // Stamp the outcome so an outer router (fleet::Federation) can identify
+  // which fault stranded this tenant and re-route it to another cell.
+  t.outcome.lost_to_fault = t.crash_fault;
   t.crash_fault = -1;  // recovery resolved: permanently lost
 }
 
@@ -1052,15 +1058,18 @@ void FleetEngine::process_event(const Event& e, const Scenario& s,
     // fleet-level rejection, no host consulted) is identical, only the
     // per-tenant event cost disappears.
     ++arrival_cursor_;
-    if (arrival_cursor_ < s.tenant_count) {
+    // Bound by the materialized population (arrivals), not s.tenant_count:
+    // an explicit routed population may be any size.
+    const int tenant_count = static_cast<int>(arrivals.size());
+    if (arrival_cursor_ < tenant_count) {
       if (s.stop_at_first_oom && report_.first_oom_tenant >= 0) {
-        for (int i = arrival_cursor_; i < s.tenant_count; ++i) {
+        for (int i = arrival_cursor_; i < tenant_count; ++i) {
           tenants_[static_cast<std::size_t>(i)].outcome.admitted = false;
           ++report_.rejected;
         }
         latched_tail_ = true;
         latched_tail_time_ = arrivals.back();
-        arrival_cursor_ = s.tenant_count;
+        arrival_cursor_ = tenant_count;
       } else {
         queue_.push_at_seq(
             arrivals[static_cast<std::size_t>(arrival_cursor_)],
@@ -1100,6 +1109,14 @@ FleetReport FleetEngine::run(const Scenario& s) {
   // indices, negative times and malformed racks throw here with a clear
   // message instead of corrupting state deep in the event loop.
   validate_host_events(s, static_cast<int>(shards_.size()));
+  for (std::size_t i = 1; i < s.population.size(); ++i) {
+    // The lazy arrival seeding below assumes arrival order; a router hands
+    // cells populations it keeps sorted, so a violation is a caller bug.
+    if (s.population[i].arrival < s.population[i - 1].arrival) {
+      throw std::invalid_argument(
+          "FleetEngine::run: explicit population must be sorted by arrival");
+    }
+  }
   faults_ = resolve_faults(s, static_cast<int>(shards_.size()));
   partitions_ =
       build_partition_windows(faults_, static_cast<int>(shards_.size()));
@@ -1115,6 +1132,7 @@ FleetReport FleetEngine::run(const Scenario& s) {
     report_.placement = policy_->name();
   }
   report_.boot_slo_ms = s.boot_slo_ms;
+  report_.replace_slo_ms = s.replace_slo_ms;
   tenants_.clear();
   global_clock_.reset();
   active_ = 0;
@@ -1148,85 +1166,46 @@ FleetReport FleetEngine::run(const Scenario& s) {
     publish_host(sh);
   }
 
-  sim::Rng rng(s.seed);
-
-  double mix_total = 0.0;
-  for (const auto& share : s.platform_mix) {
-    mix_total += share.weight;
+  // The population: either the scenario carries an explicit pre-drawn one
+  // (a federation router's per-cell subset, already in arrival order) or we
+  // draw tenant_count tenants from the seed. draw_population() is the
+  // engine's historical inline draw hoisted onto TrafficSpec, so the drawn
+  // path is byte-identical to what this loop used to produce.
+  std::vector<TenantSeed> drawn;
+  if (s.population.empty()) {
+    drawn = s.draw_population();
   }
-  double workload_total = 0.0;
-  for (const auto& share : s.workload_mix) {
-    workload_total += share.weight;
-  }
+  const std::vector<TenantSeed>& pop = s.population.empty() ? drawn
+                                                            : s.population;
+  const int tenant_count = static_cast<int>(pop.size());
 
-  const auto pick_platform = [&](sim::Rng& r) {
-    double x = r.next_double() * mix_total;
-    for (const auto& share : s.platform_mix) {
-      x -= share.weight;
-      if (x <= 0.0) {
-        return share.id;
-      }
-    }
-    return s.platform_mix.back().id;
-  };
-  const auto pick_workload = [&](sim::Rng& r) {
-    double x = r.next_double() * workload_total;
-    for (const auto& share : s.workload_mix) {
-      x -= share.weight;
-      if (x <= 0.0) {
-        return share.workload;
-      }
-    }
-    return s.workload_mix.back().workload;
-  };
-
-  // Draw arrival times, then seed the queue in arrival order.
   std::vector<sim::Nanos> arrivals;
-  arrivals.reserve(static_cast<std::size_t>(s.tenant_count));
-  sim::Nanos poisson_t = 0;
-  for (int i = 0; i < s.tenant_count; ++i) {
-    switch (s.arrival) {
-      case ArrivalPattern::kStorm:
-        arrivals.push_back(static_cast<sim::Nanos>(
-            rng.next_double() * static_cast<double>(s.arrival_window)));
-        break;
-      case ArrivalPattern::kRamp:
-        arrivals.push_back(s.tenant_count <= 1
-                               ? 0
-                               : s.arrival_window * i / (s.tenant_count - 1));
-        break;
-      case ArrivalPattern::kPoisson:
-        poisson_t += sim::seconds(
-            rng.exponential(std::max(1e-9, s.arrival_rate_per_sec)));
-        arrivals.push_back(poisson_t);
-        break;
-    }
+  arrivals.reserve(pop.size());
+  for (const TenantSeed& seed : pop) {
+    arrivals.push_back(seed.arrival);
   }
-  std::sort(arrivals.begin(), arrivals.end());
 
   for (Shard& sh : shards_) {
     sh.host->kernel().ftrace().start();
   }
 
-  tenants_.reserve(static_cast<std::size_t>(s.tenant_count));
-  for (int i = 0; i < s.tenant_count; ++i) {
+  tenants_.reserve(pop.size());
+  for (int i = 0; i < tenant_count; ++i) {
+    const TenantSeed& seed = pop[static_cast<std::size_t>(i)];
     tenants_.emplace_back();
     Tenant& t = tenants_.back();
     t.id = static_cast<std::uint64_t>(i);
-    t.platform_id = pick_platform(rng);
+    t.platform_id = seed.platform_id;
     // Named from shard 0's instance here; re-bound to the placed shard's
     // instance at every (re-)arrival.
     t.platform = shards_.front().platforms.at(t.platform_id).get();
-    t.rng = rng.fork();
-    t.clock = sim::Clock(arrivals[static_cast<std::size_t>(i)]);
+    t.rng = seed.rng;
+    t.clock = sim::Clock(seed.arrival);
     t.rounds_left = s.churn_rounds;
-    t.phases.reserve(static_cast<std::size_t>(s.phases_per_tenant));
-    for (int p = 0; p < s.phases_per_tenant; ++p) {
-      t.phases.push_back(pick_workload(t.rng));
-    }
+    t.phases = seed.phases;
     t.outcome.id = t.id;
     t.outcome.platform_id = t.platform_id;
-    t.outcome.arrival = arrivals[static_cast<std::size_t>(i)];
+    t.outcome.arrival = seed.arrival;
   }
   // Arrivals are seeded lazily — only the next initial arrival sits in the
   // queue — so a tripped density-stop latch can reject the unseeded tail
@@ -1234,9 +1213,9 @@ FleetReport FleetEngine::run(const Scenario& s) {
   // the whole seq block up front keeps every event's (time, seq) key, and
   // therefore all tie-breaking, identical to an eagerly seeded queue.
   arrival_seq_base_ =
-      queue_.reserve_seqs(static_cast<std::uint64_t>(s.tenant_count));
+      queue_.reserve_seqs(static_cast<std::uint64_t>(tenant_count));
   arrival_cursor_ = 0;
-  if (s.tenant_count > 0) {
+  if (tenant_count > 0) {
     queue_.push_at_seq(arrivals.front(), arrival_seq_base_, 0,
                        EventKind::kArrival);
   }
@@ -1254,11 +1233,13 @@ FleetReport FleetEngine::run(const Scenario& s) {
   // so fault start events pop in id order and each pushes recovery[id].
   for (const ResolvedFault& f : faults_) {
     const auto id = static_cast<std::uint64_t>(f.id);
-    if (f.kind == Fault::Kind::kCrash) {
-      queue_.push(f.time, id, EventKind::kHostCrash);
-    } else {
+    if (f.kind == Fault::Kind::kPartition) {
       queue_.push(f.time, id, EventKind::kPartitionStart);
       queue_.push(f.time + f.duration, id, EventKind::kPartitionEnd);
+    } else {
+      // kCrash and kCellOutage both ride the crash event; the resolved
+      // fault's host list (one host vs. the whole topology) is the split.
+      queue_.push(f.time, id, EventKind::kHostCrash);
     }
   }
 

@@ -1,0 +1,775 @@
+#include "fleet/federation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/host_system.h"
+#include "fleet/engine.h"
+#include "fleet/indexed_heap.h"
+
+namespace fleet {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return std::string(buf);
+}
+
+// --- Ranking keys, shared by the sort path (rank_cells over a CellView
+// snapshot) and the heap path (incremental walk over CellState), exactly
+// like placement.cpp does for hosts. ---------------------------------------
+
+std::uint64_t free_bytes_of(std::uint64_t cap, std::uint64_t resident) {
+  return cap > resident ? cap - resident : 0;
+}
+
+std::uint64_t free_bytes(const CellView& c) {
+  return free_bytes_of(c.ram_cap_bytes, c.resident_bytes);
+}
+
+std::uint64_t free_bytes(const CellState& c) {
+  return free_bytes_of(c.ram_cap_bytes, c.resident_bytes);
+}
+
+/// Sort positions 0..n-1 by `less` and append the corresponding
+/// CellView::index values to `ranked` (placement.cpp's rank_by, one level
+/// up).
+template <typename Less>
+void rank_by(const std::vector<CellView>& cells, std::vector<int>& ranked,
+             Less less) {
+  const auto first = static_cast<std::ptrdiff_t>(ranked.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ranked.push_back(static_cast<int>(i));
+  }
+  std::sort(ranked.begin() + first, ranked.end(), [&](int a, int b) {
+    return less(cells[static_cast<std::size_t>(a)],
+                cells[static_cast<std::size_t>(b)]);
+  });
+  for (auto it = ranked.begin() + first; it != ranked.end(); ++it) {
+    *it = cells[static_cast<std::size_t>(*it)].index;
+  }
+}
+
+// --- Built-in routing policies --------------------------------------------
+
+class RoundRobinRouting final : public RoutingPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  bool incremental() const override { return true; }
+  void reset() override {
+    cursor_ = 0;
+    live_cells_.clear();
+    walk_start_ = 0;
+    walk_emitted_ = 0;
+  }
+  void rank_cells(const RouteRequest&, const std::vector<CellView>& cells,
+                  std::vector<int>& ranked) override {
+    const std::size_t n = cells.size();
+    const std::size_t start = static_cast<std::size_t>(cursor_++ % n);
+    for (std::size_t k = 0; k < n; ++k) {
+      ranked.push_back(cells[(start + k) % n].index);
+    }
+  }
+
+  void target_updated(const CellState& s) override {
+    const auto it =
+        std::lower_bound(live_cells_.begin(), live_cells_.end(), s.index);
+    if (it == live_cells_.end() || *it != s.index) {
+      live_cells_.insert(it, s.index);
+    }
+  }
+  void target_removed(int cell) override {
+    const auto it =
+        std::lower_bound(live_cells_.begin(), live_cells_.end(), cell);
+    if (it != live_cells_.end() && *it == cell) {
+      live_cells_.erase(it);
+    }
+  }
+  void walk_begin(const RouteRequest&) override {
+    walk_start_ = static_cast<std::size_t>(cursor_++ % live_cells_.size());
+    walk_emitted_ = 0;
+  }
+  int walk_next() override {
+    if (walk_emitted_ >= live_cells_.size()) {
+      return -1;
+    }
+    return live_cells_[(walk_start_ + walk_emitted_++) % live_cells_.size()];
+  }
+
+ private:
+  std::uint64_t cursor_ = 0;
+  std::vector<int> live_cells_;  // sorted, mirrors the snapshot's order
+  std::size_t walk_start_ = 0;
+  std::size_t walk_emitted_ = 0;
+};
+
+struct CellFreeCmp {
+  const std::vector<CellState>* states;
+  bool operator()(int a, int b) const {
+    const std::uint64_t fa = free_bytes((*states)[static_cast<std::size_t>(a)]);
+    const std::uint64_t fb = free_bytes((*states)[static_cast<std::size_t>(b)]);
+    if (fa != fb) {
+      return fa > fb;
+    }
+    return a < b;
+  }
+};
+
+class LeastLoadedCellRouting final
+    : public HeapWalkRanking<RoutingPolicy, CellFreeCmp> {
+ public:
+  LeastLoadedCellRouting()
+      : HeapWalkRanking<RoutingPolicy, CellFreeCmp>(CellFreeCmp{&states_}) {}
+  std::string name() const override { return "least-loaded-cell"; }
+  void rank_cells(const RouteRequest&, const std::vector<CellView>& cells,
+                  std::vector<int>& ranked) override {
+    rank_by(cells, ranked, [](const CellView& a, const CellView& b) {
+      const std::uint64_t fa = free_bytes(a);
+      const std::uint64_t fb = free_bytes(b);
+      if (fa != fb) {
+        return fa > fb;
+      }
+      return a.index < b.index;
+    });
+  }
+};
+
+class PlatformAffinityRouting;
+
+struct CellAffinityCmp {
+  const PlatformAffinityRouting* self;
+  platforms::PlatformId platform;
+  bool operator()(int a, int b) const;
+};
+
+/// Cell-level analogue of ksm-affinity placement: steer a platform's
+/// tenants into the fewest cells so each cell's KSM digest runs and boot
+/// image caches merge across as many co-tenants as possible.
+class PlatformAffinityRouting final
+    : public IncrementalRanking<RoutingPolicy> {
+ public:
+  std::string name() const override { return "platform-affinity"; }
+  void rank_cells(const RouteRequest&, const std::vector<CellView>& cells,
+                  std::vector<int>& ranked) override {
+    rank_by(cells, ranked, [](const CellView& a, const CellView& b) {
+      if (a.same_platform_tenants != b.same_platform_tenants) {
+        return a.same_platform_tenants > b.same_platform_tenants;
+      }
+      const std::uint64_t fa = free_bytes(a);
+      const std::uint64_t fb = free_bytes(b);
+      if (fa != fb) {
+        return fa > fb;
+      }
+      return a.index < b.index;
+    });
+  }
+
+  void platform_count_changed(int cell, platforms::PlatformId platform,
+                              int count) override {
+    auto& per_cell = counts_[platform];
+    if (per_cell.size() <= static_cast<std::size_t>(cell)) {
+      per_cell.resize(static_cast<std::size_t>(cell) + 1, 0);
+    }
+    per_cell[static_cast<std::size_t>(cell)] = count;
+    const auto it = heaps_.find(platform);
+    if (it != heaps_.end() && it->second.contains(cell)) {
+      it->second.update(cell);
+    }
+  }
+
+  void walk_begin(const RouteRequest& req) override {
+    restore_popped();
+    walk_platform_ = req.platform_id;
+    has_walked_ = true;
+    auto it = heaps_.find(walk_platform_);
+    if (it == heaps_.end()) {
+      it = heaps_
+               .emplace(walk_platform_, IndexedHeap<CellAffinityCmp>(
+                                            CellAffinityCmp{this,
+                                                            walk_platform_}))
+               .first;
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        if (live_[i] != 0) {
+          it->second.push(static_cast<int>(i));
+        }
+      }
+    }
+  }
+
+  int walk_next() override {
+    auto& heap = heaps_.at(walk_platform_);
+    if (heap.empty()) {
+      return -1;
+    }
+    const int cell = heap.pop();
+    popped_.push_back(cell);
+    return cell;
+  }
+
+  int count_for(platforms::PlatformId platform, int cell) const {
+    const auto it = counts_.find(platform);
+    if (it == counts_.end() ||
+        it->second.size() <= static_cast<std::size_t>(cell)) {
+      return 0;
+    }
+    return it->second[static_cast<std::size_t>(cell)];
+  }
+
+  const CellState& state_of(int cell) const {
+    return states_[static_cast<std::size_t>(cell)];
+  }
+
+ protected:
+  void reset_orderings() override {
+    heaps_.clear();
+    counts_.clear();
+    has_walked_ = false;
+  }
+  void target_added(int cell) override {
+    for (auto& [platform, heap] : heaps_) {
+      heap.push(cell);
+    }
+  }
+  void target_changed(int cell) override {
+    for (auto& [platform, heap] : heaps_) {
+      if (heap.contains(cell)) {
+        heap.update(cell);
+      }
+    }
+  }
+  void target_dropped(int cell) override {
+    for (auto& [platform, heap] : heaps_) {
+      if (heap.contains(cell)) {
+        heap.erase(cell);
+      }
+    }
+  }
+
+  void restore_popped() {
+    if (!has_walked_) {
+      popped_.clear();
+      return;
+    }
+    auto& heap = heaps_.at(walk_platform_);
+    for (const int cell : popped_) {
+      if (is_live(cell) && !heap.contains(cell)) {
+        heap.push(cell);
+      }
+    }
+    popped_.clear();
+  }
+
+ private:
+  std::unordered_map<platforms::PlatformId, std::vector<int>> counts_;
+  std::unordered_map<platforms::PlatformId, IndexedHeap<CellAffinityCmp>>
+      heaps_;
+  platforms::PlatformId walk_platform_ = platforms::PlatformId::kNative;
+  bool has_walked_ = false;
+};
+
+bool CellAffinityCmp::operator()(int a, int b) const {
+  const int ca = self->count_for(platform, a);
+  const int cb = self->count_for(platform, b);
+  if (ca != cb) {
+    return ca > cb;
+  }
+  const std::uint64_t fa = free_bytes(self->state_of(a));
+  const std::uint64_t fb = free_bytes(self->state_of(b));
+  if (fa != fb) {
+    return fa > fb;
+  }
+  return a < b;
+}
+
+}  // namespace
+
+std::string routing_kind_name(RoutingKind k) {
+  switch (k) {
+    case RoutingKind::kRoundRobin:
+      return "round-robin";
+    case RoutingKind::kLeastLoadedCell:
+      return "least-loaded-cell";
+    case RoutingKind::kPlatformAffinity:
+      return "platform-affinity";
+  }
+  return "unknown";
+}
+
+std::vector<RoutingKind> all_routing_kinds() {
+  return {RoutingKind::kRoundRobin, RoutingKind::kLeastLoadedCell,
+          RoutingKind::kPlatformAffinity};
+}
+
+int RoutingPolicy::route(const RouteRequest& req,
+                         const std::vector<CellView>& cells) {
+  std::vector<int> ranked;
+  rank_cells(req, cells, ranked);
+  if (ranked.empty()) {
+    throw std::logic_error("RoutingPolicy: rank_cells returned no cells");
+  }
+  return ranked.front();
+}
+
+std::unique_ptr<RoutingPolicy> make_routing(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kRoundRobin:
+      return std::make_unique<RoundRobinRouting>();
+    case RoutingKind::kLeastLoadedCell:
+      return std::make_unique<LeastLoadedCellRouting>();
+    case RoutingKind::kPlatformAffinity:
+      return std::make_unique<PlatformAffinityRouting>();
+  }
+  throw std::invalid_argument("make_routing: unknown RoutingKind");
+}
+
+FederationTopology FederationTopology::uniform(int cells,
+                                               const CellSpec& spec) {
+  if (cells < 1) {
+    throw std::invalid_argument("FederationTopology: cells must be >= 1");
+  }
+  FederationTopology t;
+  t.cells.resize(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) {
+    t.cells[static_cast<std::size_t>(i)].name = "cell" + std::to_string(i);
+    t.cells[static_cast<std::size_t>(i)].spec = spec;
+  }
+  return t;
+}
+
+FederatedScenario FederatedScenario::from_scenario(const Scenario& s,
+                                                   int cells,
+                                                   RoutingKind routing) {
+  FederatedScenario fs;
+  fs.traffic = static_cast<const TrafficSpec&>(s);
+  fs.routing = routing;
+  fs.topology =
+      FederationTopology::uniform(cells, static_cast<const CellSpec&>(s));
+  return fs;
+}
+
+FederatedScenario FederatedScenario::federation_storm(int tenants, int cells,
+                                                      int hosts_per_cell,
+                                                      RoutingKind routing) {
+  const Scenario base = Scenario::cluster_storm(tenants, hosts_per_cell,
+                                                PlacementKind::kLeastPressure);
+  FederatedScenario fs = from_scenario(base, cells, routing);
+  fs.traffic.name = "federation-storm";
+  return fs;
+}
+
+bool FederationReport::recovery_slo_pass() const {
+  if (replace_slo_ms <= 0) {
+    return true;
+  }
+  for (const CellRollup& c : cells) {
+    for (const FleetReport::RecoveryVerdict& v : c.report.recovery) {
+      // Cell-outage verdicts are judged federation-wide below: in-cell a
+      // whole-cell outage always loses every victim.
+      if (v.kind != "cell-outage" && !v.slo_pass(replace_slo_ms)) {
+        return false;
+      }
+    }
+  }
+  if (outage_lost > 0) {
+    return false;
+  }
+  return outage_replace_ms.empty() ||
+         outage_replace_ms.percentile(99.0) <=
+             static_cast<double>(replace_slo_ms) / 1e6;
+}
+
+std::string FederationReport::to_text() const {
+  // The degenerate federation renders its lone cell verbatim: one cell
+  // behind a router IS that cluster, byte for byte.
+  if (cells.size() == 1) {
+    return cells[0].report.to_text();
+  }
+  std::string out;
+  out += "federation: " + scenario + " (seed " + std::to_string(seed) + ")\n";
+  out += "routing: " + routing + " across " + std::to_string(cells.size()) +
+         " cells\n";
+  out += "tenants: " + std::to_string(admitted) + " admitted, " +
+         std::to_string(rejected) + " rejected, " + std::to_string(completed) +
+         " completed of " + std::to_string(tenants) + " routed\n";
+  if (spills > 0) {
+    out += "inter-cell spills: " + std::to_string(spills) +
+           " tenants moved to a lower-ranked cell after a refusal\n";
+  }
+  out += "makespan: " + fmt("%.2f", sim::to_millis(makespan)) +
+         " ms; events processed: " + std::to_string(events_processed) + "\n";
+  if (outage_victims > 0) {
+    out += "cell outages: " + std::to_string(outage_victims) + " stranded, " +
+           std::to_string(outage_rerouted) + " re-routed, " +
+           std::to_string(outage_lost) + " lost";
+    if (!outage_replace_ms.empty()) {
+      out += "; re-place p50 " + fmt("%.2f", outage_replace_ms.percentile(50)) +
+             " ms, p99 " + fmt("%.2f", outage_replace_ms.percentile(99)) +
+             " ms";
+    }
+    out += "\n";
+  }
+  if (replace_slo_ms > 0) {
+    out += "recovery SLO: p99 time-to-re-place within " +
+           fmt("%.2f", sim::to_millis(replace_slo_ms)) + " ms, no loss -> " +
+           (recovery_slo_pass() ? "PASS" : "FAIL") + "\n";
+  }
+  out += "\n";
+  for (const CellRollup& c : cells) {
+    out += c.name + " [" + c.region + "]: hosts " + std::to_string(c.hosts) +
+           ", routed " + std::to_string(c.routed) + ", admitted " +
+           std::to_string(c.admitted) + ", rejected " +
+           std::to_string(c.rejected) + ", spill in " +
+           std::to_string(c.spill_in) + ", spill out " +
+           std::to_string(c.spill_out) + (c.outage ? ", OUTAGE" : "") + "\n";
+  }
+  for (const CellRollup& c : cells) {
+    out += "\n--- " + c.name + " [" + c.region + "] ---\n";
+    out += c.report.to_text();
+  }
+  return out;
+}
+
+Federation::Federation(FederationTopology topology)
+    : topology_(std::move(topology)) {
+  if (topology_.cells.empty()) {
+    throw std::invalid_argument("Federation: topology has no cells");
+  }
+  cells_.resize(topology_.cells.size());
+}
+
+FederationReport Federation::run(const FederatedScenario& fs) {
+  const int cell_n = cell_count();
+  if (!fs.topology.cells.empty() &&
+      static_cast<int>(fs.topology.cells.size()) != cell_n) {
+    throw std::invalid_argument(
+        "Federation: scenario topology has " +
+        std::to_string(fs.topology.cells.size()) + " cells, federation has " +
+        std::to_string(cell_n));
+  }
+  for (const CellOutage& o : fs.outages) {
+    if (o.cell < 0 || o.cell >= cell_n) {
+      throw std::invalid_argument("Federation: outage targets cell " +
+                                  std::to_string(o.cell) + " of " +
+                                  std::to_string(cell_n));
+    }
+  }
+
+  // The global population, drawn once from the seed (or taken verbatim).
+  std::vector<TenantSeed> population = fs.traffic.population.empty()
+                                           ? fs.traffic.draw_population()
+                                           : fs.traffic.population;
+  const int n = static_cast<int>(population.size());
+  for (int i = 1; i < n; ++i) {
+    if (population[static_cast<std::size_t>(i)].arrival <
+        population[static_cast<std::size_t>(i - 1)].arrival) {
+      throw std::invalid_argument(
+          "Federation: explicit population must be sorted by arrival");
+    }
+  }
+
+  // Per-cell Scenario skeletons: global traffic + that cell's mechanism,
+  // with scenario-level outages lowered into the cell's fault schedule.
+  std::vector<Scenario> cs(static_cast<std::size_t>(cell_n));
+  for (int k = 0; k < cell_n; ++k) {
+    Scenario& s = cs[static_cast<std::size_t>(k)];
+    static_cast<TrafficSpec&>(s) = fs.traffic;
+    static_cast<CellSpec&>(s) = topology_.cells[static_cast<std::size_t>(k)].spec;
+    s.population.clear();
+    s.tenant_count = 0;  // cells only ever run their routed subset
+  }
+  for (const CellOutage& o : fs.outages) {
+    Fault f;
+    f.kind = Fault::Kind::kCellOutage;
+    f.time = o.time;
+    f.restart_delay = o.restart_delay;
+    f.restart_jitter = o.restart_jitter;
+    cs[static_cast<std::size_t>(o.cell)].faults.timed.push_back(f);
+  }
+
+  // Admission-effective aggregate RAM per cell, for the router's
+  // projections (mirrors FleetEngine::init_shard's per-host cap).
+  std::vector<std::uint64_t> cell_cap(static_cast<std::size_t>(cell_n));
+  for (int k = 0; k < cell_n; ++k) {
+    const CellSpec& spec = topology_.cells[static_cast<std::size_t>(k)].spec;
+    const std::uint64_t per_host =
+        spec.host_ram_override_bytes != 0
+            ? spec.host_ram_override_bytes
+            : (spec.cluster.ram_bytes != 0 ? spec.cluster.ram_bytes
+                                           : core::HostSystemSpec{}.ram_bytes);
+    cell_cap[static_cast<std::size_t>(k)] =
+        per_host * static_cast<std::uint64_t>(
+                       std::max(1, spec.cluster.host_count));
+  }
+
+  // Projected router-side load. The router never sees inside a cell; it
+  // ranks on these estimates, and real admission inside each cell settles
+  // the rest (spilling back through the router on refusal).
+  struct Projection {
+    std::uint64_t resident = 0;
+    int count = 0;
+    std::map<platforms::PlatformId, int> by_platform;
+  };
+  std::vector<Projection> proj(static_cast<std::size_t>(cell_n));
+
+  std::unique_ptr<RoutingPolicy> router = make_routing(fs.routing);
+  router->reset();
+  for (int k = 0; k < cell_n; ++k) {
+    router->cell_updated(
+        CellState{k, cell_cap[static_cast<std::size_t>(k)], 0, 0});
+  }
+
+  // Effective seeds: a moved tenant carries its updated arrival (rejection
+  // instant keeps the original; outage victims re-enter at their jittered
+  // re-arrival).
+  std::vector<TenantSeed> eff = population;
+
+  const auto estimate = [&](int gid) {
+    const bool hv = is_hypervisor_backed(
+        eff[static_cast<std::size_t>(gid)].platform_id);
+    // Same projection the density check uses: hypervisor tenants pin their
+    // guest RAM; process-backed ones are assumed far lighter.
+    return hv ? fs.traffic.guest_ram_bytes : fs.traffic.guest_ram_bytes / 4;
+  };
+
+  std::unordered_map<int, std::vector<char>> tried;
+  std::vector<int> ranked_scratch;
+
+  const auto route_one = [&](int gid) -> int {
+    const TenantSeed& seed = eff[static_cast<std::size_t>(gid)];
+    RouteRequest req;
+    req.tenant_id = static_cast<std::uint64_t>(gid);
+    req.platform_id = seed.platform_id;
+    req.hypervisor_backed = is_hypervisor_backed(seed.platform_id);
+    req.guest_ram_bytes = fs.traffic.guest_ram_bytes;
+    const auto it = tried.find(gid);
+    const std::vector<char>* skip = it == tried.end() ? nullptr : &it->second;
+    if (router->incremental()) {
+      router->walk_begin(req);
+      int c;
+      while ((c = router->walk_next()) >= 0) {
+        if (skip == nullptr || (*skip)[static_cast<std::size_t>(c)] == 0) {
+          return c;
+        }
+      }
+      return -1;
+    }
+    // Snapshot-sort spec path for custom policies.
+    std::vector<CellView> views(static_cast<std::size_t>(cell_n));
+    for (int k = 0; k < cell_n; ++k) {
+      CellView& v = views[static_cast<std::size_t>(k)];
+      v.index = k;
+      v.ram_cap_bytes = cell_cap[static_cast<std::size_t>(k)];
+      v.resident_bytes = proj[static_cast<std::size_t>(k)].resident;
+      v.active_tenants = proj[static_cast<std::size_t>(k)].count;
+      const auto pit =
+          proj[static_cast<std::size_t>(k)].by_platform.find(req.platform_id);
+      v.same_platform_tenants =
+          pit == proj[static_cast<std::size_t>(k)].by_platform.end()
+              ? 0
+              : pit->second;
+    }
+    ranked_scratch.clear();
+    router->rank_cells(req, views, ranked_scratch);
+    for (const int c : ranked_scratch) {
+      if (skip == nullptr || (*skip)[static_cast<std::size_t>(c)] == 0) {
+        return c;
+      }
+    }
+    return -1;
+  };
+
+  const auto project_into = [&](int gid, int k, int direction) {
+    Projection& p = proj[static_cast<std::size_t>(k)];
+    const std::uint64_t est = estimate(gid);
+    if (direction > 0) {
+      p.resident += est;
+      p.count += 1;
+    } else {
+      p.resident = p.resident >= est ? p.resident - est : 0;
+      p.count -= 1;
+    }
+    int& pc = p.by_platform[eff[static_cast<std::size_t>(gid)].platform_id];
+    pc += direction;
+    router->cell_updated(CellState{k, cell_cap[static_cast<std::size_t>(k)],
+                                   p.resident, p.count});
+    router->platform_count_changed(
+        k, eff[static_cast<std::size_t>(gid)].platform_id, pc);
+  };
+
+  // --- Initial routing pass, in global arrival order ----------------------
+  std::vector<int> cell_of(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(cell_n));
+  for (int gid = 0; gid < n; ++gid) {
+    const int c = route_one(gid);
+    cell_of[static_cast<std::size_t>(gid)] = c;
+    members[static_cast<std::size_t>(c)].push_back(gid);
+    project_into(gid, c, +1);
+  }
+
+  // Ordered insert position by (effective arrival, global id) — the order
+  // every cell population is kept in.
+  const auto member_pos = [&](std::vector<int>& m, int gid) {
+    return std::lower_bound(m.begin(), m.end(), gid, [&](int lhs, int rhs) {
+      const sim::Nanos la = eff[static_cast<std::size_t>(lhs)].arrival;
+      const sim::Nanos ra = eff[static_cast<std::size_t>(rhs)].arrival;
+      if (la != ra) {
+        return la < ra;
+      }
+      return lhs < rhs;
+    });
+  };
+
+  // --- Run cells, spill the refused, repeat to a fixed point --------------
+  std::vector<FleetReport> reports(static_cast<std::size_t>(cell_n));
+  std::vector<std::vector<int>> run_members(static_cast<std::size_t>(cell_n));
+  std::vector<int> spill_in(static_cast<std::size_t>(cell_n), 0);
+  std::vector<int> spill_out(static_cast<std::size_t>(cell_n), 0);
+  int spills = 0;
+  // First strand instant per cell-outage victim, for the federation-level
+  // recovery clock (ordered: the rollup below iterates it).
+  std::map<int, sim::Nanos> outage_at;
+
+  std::vector<char> dirty(static_cast<std::size_t>(cell_n), 1);
+  bool any_dirty = true;
+  while (any_dirty) {
+    std::vector<int> ran;
+    for (int k = 0; k < cell_n; ++k) {
+      if (dirty[static_cast<std::size_t>(k)] != 0) {
+        ran.push_back(k);
+        dirty[static_cast<std::size_t>(k)] = 0;
+      }
+    }
+    any_dirty = false;
+    for (const int k : ran) {
+      Scenario s = cs[static_cast<std::size_t>(k)];
+      s.population.reserve(members[static_cast<std::size_t>(k)].size());
+      for (const int gid : members[static_cast<std::size_t>(k)]) {
+        s.population.push_back(eff[static_cast<std::size_t>(gid)]);
+      }
+      run_members[static_cast<std::size_t>(k)] =
+          members[static_cast<std::size_t>(k)];
+      cells_[static_cast<std::size_t>(k)] = std::make_unique<Cluster>(
+          topology_.cells[static_cast<std::size_t>(k)].spec.cluster);
+      reports[static_cast<std::size_t>(k)] =
+          cells_[static_cast<std::size_t>(k)]->run(s);
+    }
+    for (const int k : ran) {
+      const FleetReport& rep = reports[static_cast<std::size_t>(k)];
+      const std::vector<int>& who = run_members[static_cast<std::size_t>(k)];
+      for (std::size_t idx = 0; idx < who.size(); ++idx) {
+        const TenantOutcome& o = rep.tenants[idx];
+        if (o.admitted) {
+          continue;
+        }
+        const int gid = who[idx];
+        const bool stranded = o.lost_to_fault >= 0;
+        const bool outage_victim =
+            stranded &&
+            rep.recovery[static_cast<std::size_t>(o.lost_to_fault)].kind ==
+                "cell-outage";
+        if (outage_victim) {
+          outage_at.emplace(
+              gid,
+              rep.recovery[static_cast<std::size_t>(o.lost_to_fault)].time);
+        }
+        // Only refusals and whole-cell outages walk on: a tenant lost to an
+        // ordinary crash already had its chance on the cell's survivors,
+        // and that cell's own recovery verdict owns the failure.
+        if (stranded && !outage_victim) {
+          continue;
+        }
+        auto& mask = tried.try_emplace(gid, static_cast<std::size_t>(cell_n), 0)
+                         .first->second;
+        mask[static_cast<std::size_t>(k)] = 1;
+        const int next = route_one(gid);
+        if (next < 0) {
+          continue;  // every cell tried: a federation-level rejection
+        }
+        // Move gid k -> next at its refusal/re-arrival instant.
+        auto& from = members[static_cast<std::size_t>(k)];
+        from.erase(member_pos(from, gid));
+        project_into(gid, k, -1);
+        eff[static_cast<std::size_t>(gid)].arrival = o.arrival;
+        auto& to = members[static_cast<std::size_t>(next)];
+        to.insert(member_pos(to, gid), gid);
+        project_into(gid, next, +1);
+        cell_of[static_cast<std::size_t>(gid)] = next;
+        spill_out[static_cast<std::size_t>(k)] += 1;
+        spill_in[static_cast<std::size_t>(next)] += 1;
+        spills += 1;
+        dirty[static_cast<std::size_t>(k)] = 1;
+        dirty[static_cast<std::size_t>(next)] = 1;
+        any_dirty = true;
+      }
+    }
+  }
+
+  // --- Roll up -------------------------------------------------------------
+  FederationReport fr;
+  fr.scenario = fs.traffic.name;
+  fr.seed = fs.traffic.seed;
+  fr.routing = router->name();
+  fr.tenants = n;
+  fr.spills = spills;
+  fr.replace_slo_ms = fs.traffic.replace_slo_ms;
+  for (int k = 0; k < cell_n; ++k) {
+    const CellDesc& desc = topology_.cells[static_cast<std::size_t>(k)];
+    FederationReport::CellRollup r;
+    r.name = desc.name.empty() ? "cell" + std::to_string(k) : desc.name;
+    r.region = desc.region;
+    r.hosts = std::max(1, desc.spec.cluster.host_count);
+    r.routed = static_cast<int>(members[static_cast<std::size_t>(k)].size());
+    r.admitted = reports[static_cast<std::size_t>(k)].tenants_admitted();
+    r.rejected = reports[static_cast<std::size_t>(k)].rejected;
+    r.spill_in = spill_in[static_cast<std::size_t>(k)];
+    r.spill_out = spill_out[static_cast<std::size_t>(k)];
+    for (const FleetReport::RecoveryVerdict& v :
+         reports[static_cast<std::size_t>(k)].recovery) {
+      r.outage = r.outage || v.kind == "cell-outage";
+    }
+    fr.admitted += r.admitted;
+    fr.completed += reports[static_cast<std::size_t>(k)].completed;
+    fr.events_processed +=
+        reports[static_cast<std::size_t>(k)].events_processed;
+    fr.makespan =
+        std::max(fr.makespan, reports[static_cast<std::size_t>(k)].makespan);
+    r.report = std::move(reports[static_cast<std::size_t>(k)]);
+    fr.cells.push_back(std::move(r));
+  }
+  fr.rejected = n - fr.admitted;
+
+  // Cell-outage recovery, judged federation-wide: the cell lost everyone,
+  // the router gave the victims somewhere else to boot.
+  if (!outage_at.empty()) {
+    std::vector<std::unordered_map<int, std::size_t>> pos(
+        static_cast<std::size_t>(cell_n));
+    for (int k = 0; k < cell_n; ++k) {
+      const auto& m = members[static_cast<std::size_t>(k)];
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        pos[static_cast<std::size_t>(k)][m[i]] = i;
+      }
+    }
+    for (const auto& [gid, t0] : outage_at) {
+      fr.outage_victims += 1;
+      const int c = cell_of[static_cast<std::size_t>(gid)];
+      const std::size_t idx = pos[static_cast<std::size_t>(c)].at(gid);
+      const TenantOutcome& o =
+          fr.cells[static_cast<std::size_t>(c)].report.tenants[idx];
+      if (o.admitted) {
+        fr.outage_rerouted += 1;
+        fr.outage_replace_ms.add(
+            sim::to_millis(o.arrival + o.boot_latency - t0));
+      } else {
+        fr.outage_lost += 1;
+      }
+    }
+  }
+  return fr;
+}
+
+}  // namespace fleet

@@ -95,110 +95,15 @@ void rank_by(const std::vector<HostView>& hosts, std::vector<int>& ranked,
 }
 
 // --- Incremental machinery -----------------------------------------------
+// The state bookkeeping and heap walks live in placement.h as the shared
+// IncrementalRanking / HeapWalkRanking templates (fleet::RoutingPolicy
+// reuses them for cell ranking); these aliases bind them to the host
+// domain.
 
-/// Shared base of the built-in incremental policies: the authoritative
-/// engine-pushed per-host state, liveness, and the popped-candidate list a
-/// lazy walk must restore before the next arrival.
-class IncrementalPolicy : public PlacementPolicy {
- public:
-  bool incremental() const override { return true; }
+using IncrementalPolicy = IncrementalRanking<PlacementPolicy>;
 
-  void reset() override {
-    states_.clear();
-    live_.clear();
-    popped_.clear();
-    reset_orderings();
-  }
-
-  void host_updated(const HostState& s) override {
-    const auto i = static_cast<std::size_t>(s.index);
-    if (i >= states_.size()) {
-      states_.resize(i + 1);
-      live_.resize(i + 1, 0);
-    }
-    const bool was_live = live_[i] != 0;
-    states_[i] = s;
-    live_[i] = 1;
-    if (was_live) {
-      host_changed(s.index);
-    } else {
-      host_added(s.index);
-    }
-  }
-
-  void host_removed(int host) override {
-    const auto i = static_cast<std::size_t>(host);
-    if (i >= live_.size() || live_[i] == 0) {
-      return;
-    }
-    live_[i] = 0;
-    host_dropped(host);
-  }
-
- protected:
-  virtual void reset_orderings() = 0;
-  virtual void host_added(int host) = 0;    // newly live: join the orderings
-  virtual void host_changed(int host) = 0;  // key changed: reposition
-  virtual void host_dropped(int host) = 0;  // drained: leave the orderings
-
-  bool is_live(int host) const {
-    return static_cast<std::size_t>(host) < live_.size() &&
-           live_[static_cast<std::size_t>(host)] != 0;
-  }
-
-  std::vector<HostState> states_;
-  std::vector<char> live_;
-  /// Hosts emitted by the current walk (out of their heap until restored).
-  std::vector<int> popped_;
-};
-
-/// Single-heap incremental policy: one comparator, one ordering. The walk
-/// pops candidates lazily — O(log M) per candidate actually tried — and
-/// walk_begin() re-inserts the previous walk's pops.
 template <typename Cmp>
-class HeapWalkPolicy : public IncrementalPolicy {
- public:
-  void walk_begin(const PlacementRequest& req) override {
-    (void)req;
-    restore_popped();
-  }
-
-  int walk_next() override {
-    if (heap_.empty()) {
-      return -1;
-    }
-    const int host = heap_.pop();
-    popped_.push_back(host);
-    return host;
-  }
-
- protected:
-  explicit HeapWalkPolicy(Cmp cmp) : heap_(cmp) {}
-
-  void reset_orderings() override { heap_.clear(); }
-  void host_added(int host) override { heap_.push(host); }
-  void host_changed(int host) override {
-    if (heap_.contains(host)) {  // popped hosts rejoin with fresh state
-      heap_.update(host);
-    }
-  }
-  void host_dropped(int host) override {
-    if (heap_.contains(host)) {
-      heap_.erase(host);
-    }
-  }
-
-  void restore_popped() {
-    for (const int host : popped_) {
-      if (is_live(host) && !heap_.contains(host)) {
-        heap_.push(host);
-      }
-    }
-    popped_.clear();
-  }
-
-  IndexedHeap<Cmp> heap_;
-};
+using HeapWalkPolicy = HeapWalkRanking<PlacementPolicy, Cmp>;
 
 class RoundRobinPlacement final : public PlacementPolicy {
  public:
@@ -221,14 +126,14 @@ class RoundRobinPlacement final : public PlacementPolicy {
     }
   }
 
-  void host_updated(const HostState& s) override {
+  void target_updated(const HostState& s) override {
     const auto it =
         std::lower_bound(live_hosts_.begin(), live_hosts_.end(), s.index);
     if (it == live_hosts_.end() || *it != s.index) {
       live_hosts_.insert(it, s.index);
     }
   }
-  void host_removed(int host) override {
+  void target_removed(int host) override {
     const auto it =
         std::lower_bound(live_hosts_.begin(), live_hosts_.end(), host);
     if (it != live_hosts_.end() && *it == host) {
@@ -267,7 +172,7 @@ struct LeastLoadedCmp {
 
 class LeastLoadedPlacement final : public HeapWalkPolicy<LeastLoadedCmp> {
  public:
-  LeastLoadedPlacement() : HeapWalkPolicy(LeastLoadedCmp{&states_}) {}
+  LeastLoadedPlacement() : HeapWalkPolicy<LeastLoadedCmp>(LeastLoadedCmp{&states_}) {}
   std::string name() const override { return "least-loaded"; }
   void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
                   std::vector<int>& ranked) override {
@@ -374,19 +279,19 @@ class KsmAffinityPlacement final : public IncrementalPolicy {
     counts_.clear();
     has_walked_ = false;
   }
-  void host_added(int host) override {
+  void target_added(int host) override {
     for (auto& [platform, heap] : heaps_) {
       heap.push(host);
     }
   }
-  void host_changed(int host) override {
+  void target_changed(int host) override {
     for (auto& [platform, heap] : heaps_) {
       if (heap.contains(host)) {
         heap.update(host);
       }
     }
   }
-  void host_dropped(int host) override {
+  void target_dropped(int host) override {
     for (auto& [platform, heap] : heaps_) {
       if (heap.contains(host)) {
         heap.erase(host);
@@ -443,7 +348,8 @@ struct LeastPressureCmp {
 
 class LeastPressurePlacement final : public HeapWalkPolicy<LeastPressureCmp> {
  public:
-  LeastPressurePlacement() : HeapWalkPolicy(LeastPressureCmp{&states_}) {}
+  LeastPressurePlacement()
+      : HeapWalkPolicy<LeastPressureCmp>(LeastPressureCmp{&states_}) {}
   std::string name() const override { return "least-pressure"; }
   void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
                   std::vector<int>& ranked) override {
@@ -472,7 +378,8 @@ struct PackThenSpillCmp {
 
 class PackThenSpillPlacement final : public HeapWalkPolicy<PackThenSpillCmp> {
  public:
-  PackThenSpillPlacement() : HeapWalkPolicy(PackThenSpillCmp{&states_}) {}
+  PackThenSpillPlacement()
+      : HeapWalkPolicy<PackThenSpillCmp>(PackThenSpillCmp{&states_}) {}
   std::string name() const override { return "pack-then-spill"; }
   void rank_hosts(const PlacementRequest&, const std::vector<HostView>& hosts,
                   std::vector<int>& ranked) override {

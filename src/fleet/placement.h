@@ -27,6 +27,13 @@
 //                     before opening the next, maximizing KSM merge
 //                     density; the retry walk turns watermark overshoot
 //                     into a spill instead of an OOM
+//
+// The same shape recurs one level up: fleet::RoutingPolicy (federation.h)
+// ranks *cells* for a global router exactly the way PlacementPolicy ranks
+// hosts for a cluster. Both speak the RankingPolicy<State, Request>
+// protocol below and reuse the IncrementalRanking / HeapWalkRanking
+// indexed-heap machinery, so candidate selection is O(log M) over hosts
+// and O(log K) over cells with one shared implementation.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/indexed_heap.h"
 #include "platforms/platform.h"
 
 namespace fleet {
@@ -99,9 +107,27 @@ struct HostState {
   HostPressure pressure;
 };
 
-class PlacementPolicy {
+/// The shared incremental ranking protocol, generic over what is being
+/// ranked: hosts inside one cluster (PlacementPolicy, StateT = HostState)
+/// or whole cells inside a federation (RoutingPolicy, StateT = CellState).
+///
+/// Policies returning incremental() == true maintain target orderings
+/// incrementally (indexed heaps updated from pushed state deltas) and
+/// serve the admission walk through walk_begin()/walk_next() in
+/// O(walk length * log N), instead of receiving a fresh O(N) snapshot and
+/// sorting it per request. The caller pushes target_updated() after each
+/// change, platform_count_changed() when a target's per-platform tenant
+/// count moves, and target_removed() on a drain/outage. The emitted walk
+/// order must be identical to the policy's snapshot-sort spec path
+/// (rank_hosts / rank_cells on the concrete interfaces, pinned by
+/// tests/placement_equivalence_test.cpp for the built-in placements).
+template <typename StateT, typename RequestT>
+class RankingPolicy {
  public:
-  virtual ~PlacementPolicy() = default;
+  using State = StateT;
+  using Request = RequestT;
+
+  virtual ~RankingPolicy() = default;
 
   virtual std::string name() const = 0;
 
@@ -109,49 +135,50 @@ class PlacementPolicy {
   /// identical runs make identical decisions.
   virtual void reset() {}
 
-  // --- Incremental protocol -----------------------------------------------
-  // Policies returning true here maintain host orderings incrementally
-  // (indexed heaps updated from the engine's per-event state deltas) and
-  // serve the admission walk through walk_begin()/walk_next() in
-  // O(walk length * log M), instead of receiving a fresh O(M) snapshot and
-  // sorting it on every arrival. The engine then never builds HostView
-  // snapshots: it pushes host_updated() after each event that changed a
-  // host, platform_count_changed() when a host's per-platform tenant count
-  // moves, and host_removed() on a drain. The emitted walk order must be
-  // identical to rank_hosts() on an equivalent snapshot (pinned by
-  // tests/placement_equivalence_test.cpp for the built-in policies).
-
   /// True when this policy implements the incremental protocol.
   virtual bool incremental() const { return false; }
 
-  /// Upsert one live host's state (also how new hosts are introduced).
-  virtual void host_updated(const HostState& state) { (void)state; }
+  /// Upsert one live target's state (also how new targets are introduced).
+  virtual void target_updated(const State& state) { (void)state; }
 
-  /// A host's active tenant count for one platform changed.
-  virtual void platform_count_changed(int host, platforms::PlatformId platform,
+  /// A target's active tenant count for one platform changed.
+  virtual void platform_count_changed(int target,
+                                      platforms::PlatformId platform,
                                       int count) {
-    (void)host;
+    (void)target;
     (void)platform;
     (void)count;
   }
 
-  /// The host was drained: drop it from every ordering.
-  virtual void host_removed(int host) { (void)host; }
+  /// The target was drained (host) or went dark (cell): drop it from
+  /// every ordering.
+  virtual void target_removed(int target) { (void)target; }
 
-  /// Start a candidate walk for one arrival. Advances cursor state exactly
-  /// like one rank_hosts() call.
-  virtual void walk_begin(const PlacementRequest& req) { (void)req; }
+  /// Start a candidate walk for one request. Advances cursor state exactly
+  /// like one snapshot-sort call.
+  virtual void walk_begin(const Request& req) { (void)req; }
 
-  /// Next candidate in ranked order, or -1 when every live host has been
+  /// Next candidate in ranked order, or -1 when every live target has been
   /// emitted. Only valid between walk_begin() calls.
   virtual int walk_next() { return -1; }
+};
 
-  /// Rank hosts from most to least preferred, appending HostView::index
-  /// values to `ranked` (which arrives cleared). `hosts` has one view per
-  /// live host, in index order, and is never empty. The engine tries
-  /// admission in ranked order. Must append a non-empty subset, each host
-  /// at most once; hosts left unranked are simply never tried (that is
-  /// how SingleShotPolicy emulates PR 3's no-retry placement).
+/// Host placement inside one cluster. The legacy host_updated/host_removed
+/// spellings are kept as non-virtual aliases so engine and test callers
+/// read naturally; implementations override the generic protocol names.
+class PlacementPolicy : public RankingPolicy<HostState, PlacementRequest> {
+ public:
+  /// The snapshot-sort spec path, and the only method a custom policy MUST
+  /// implement: rank hosts from most to least preferred, appending
+  /// HostView::index values to `ranked` (which arrives cleared). `hosts`
+  /// has one view per live host, in index order, and is never empty. The
+  /// engine tries admission in ranked order. Must append a non-empty
+  /// subset, each host at most once; hosts left unranked are simply never
+  /// tried (that is how SingleShotPolicy emulates PR 3's no-retry
+  /// placement). Policies that skip the incremental protocol
+  /// (incremental() == false) are served O(M) snapshots through this path
+  /// — slower, but the easiest way to write a one-off or test policy, and
+  /// the executable spec the incremental walk is pinned against.
   virtual void rank_hosts(const PlacementRequest& req,
                           const std::vector<HostView>& hosts,
                           std::vector<int>& ranked) = 0;
@@ -159,9 +186,128 @@ class PlacementPolicy {
   /// Convenience: the most-preferred host (front of rank_hosts). Advances
   /// any cursor state exactly like one rank_hosts call.
   int place(const PlacementRequest& req, const std::vector<HostView>& hosts);
+
+  void host_updated(const HostState& state) { target_updated(state); }
+  void host_removed(int host) { target_removed(host); }
 };
 
 std::unique_ptr<PlacementPolicy> make_placement(PlacementKind kind);
+
+// --- Shared incremental machinery ----------------------------------------
+// Base must be a concrete interface deriving RankingPolicy (PlacementPolicy
+// or RoutingPolicy); these templates supply the state bookkeeping and heap
+// walks on top of it.
+
+/// Authoritative pushed per-target state, liveness, and the popped-
+/// candidate list a lazy walk must restore before the next request.
+/// Subclasses implement the ordering hooks (reset_orderings /
+/// target_added / target_changed / target_dropped).
+template <typename Base>
+class IncrementalRanking : public Base {
+ public:
+  using State = typename Base::State;
+
+  bool incremental() const override { return true; }
+
+  void reset() override {
+    states_.clear();
+    live_.clear();
+    popped_.clear();
+    reset_orderings();
+  }
+
+  void target_updated(const State& s) override {
+    const auto i = static_cast<std::size_t>(s.index);
+    if (i >= states_.size()) {
+      states_.resize(i + 1);
+      live_.resize(i + 1, 0);
+    }
+    const bool was_live = live_[i] != 0;
+    states_[i] = s;
+    live_[i] = 1;
+    if (was_live) {
+      target_changed(s.index);
+    } else {
+      target_added(s.index);
+    }
+  }
+
+  void target_removed(int target) override {
+    const auto i = static_cast<std::size_t>(target);
+    if (i >= live_.size() || live_[i] == 0) {
+      return;
+    }
+    live_[i] = 0;
+    target_dropped(target);
+  }
+
+ protected:
+  virtual void reset_orderings() = 0;
+  virtual void target_added(int target) = 0;    // newly live: join orderings
+  virtual void target_changed(int target) = 0;  // key changed: reposition
+  virtual void target_dropped(int target) = 0;  // gone: leave the orderings
+
+  bool is_live(int target) const {
+    return static_cast<std::size_t>(target) < live_.size() &&
+           live_[static_cast<std::size_t>(target)] != 0;
+  }
+
+  std::vector<State> states_;
+  std::vector<char> live_;
+  /// Targets emitted by the current walk (out of their heap until
+  /// restored).
+  std::vector<int> popped_;
+};
+
+/// Single-heap incremental policy: one comparator, one ordering. The walk
+/// pops candidates lazily — O(log N) per candidate actually tried — and
+/// walk_begin() re-inserts the previous walk's pops.
+template <typename Base, typename Cmp>
+class HeapWalkRanking : public IncrementalRanking<Base> {
+ public:
+  using Request = typename Base::Request;
+
+  void walk_begin(const Request& req) override {
+    (void)req;
+    restore_popped();
+  }
+
+  int walk_next() override {
+    if (heap_.empty()) {
+      return -1;
+    }
+    const int target = heap_.pop();
+    this->popped_.push_back(target);
+    return target;
+  }
+
+ protected:
+  explicit HeapWalkRanking(Cmp cmp) : heap_(cmp) {}
+
+  void reset_orderings() override { heap_.clear(); }
+  void target_added(int target) override { heap_.push(target); }
+  void target_changed(int target) override {
+    if (heap_.contains(target)) {  // popped targets rejoin with fresh state
+      heap_.update(target);
+    }
+  }
+  void target_dropped(int target) override {
+    if (heap_.contains(target)) {
+      heap_.erase(target);
+    }
+  }
+
+  void restore_popped() {
+    for (const int target : this->popped_) {
+      if (this->is_live(target) && !heap_.contains(target)) {
+        heap_.push(target);
+      }
+    }
+    this->popped_.clear();
+  }
+
+  IndexedHeap<Cmp> heap_;
+};
 
 /// Wraps a policy but ranks only its first choice — PR 3's single-shot
 /// placement semantics, where a refusal is an OOM even if another host

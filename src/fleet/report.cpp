@@ -115,6 +115,11 @@ std::string FleetReport::to_text() const {
                  " ms, p99 " + fmt("%.2f", v.replace_ms.percentile(99)) +
                  " ms";
         }
+        // Per-fault SLO verdict, gated on a declared budget so budget-less
+        // chaos runs keep their historical bytes.
+        if (replace_slo_ms > 0) {
+          out += v.slo_pass(replace_slo_ms) ? "; SLO PASS" : "; SLO FAIL";
+        }
       }
       out += "\n";
     }
@@ -123,6 +128,11 @@ std::string FleetReport::to_text() const {
              fmt("%.2f", replace_ms.percentile(50)) + " ms, p99 " +
              fmt("%.2f", replace_ms.percentile(99)) + " ms over " +
              std::to_string(replace_ms.size()) + " re-placements\n";
+    }
+    if (replace_slo_ms > 0) {
+      out += "recovery SLO: p99 time-to-re-place within " +
+             fmt("%.2f", sim::to_millis(replace_slo_ms)) + " ms, no loss -> " +
+             (recovery_slo_pass() ? "PASS" : "FAIL") + "\n";
     }
   }
   out += "\n";

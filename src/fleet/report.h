@@ -33,6 +33,11 @@ struct TenantOutcome {
   sim::Nanos completion = 0;    // teardown finished
   int phases_run = 0;
   int rounds_completed = 0;  // teardowns reached (1 + churn rounds completed)
+  /// Fault id (index into FleetReport::recovery) that permanently stranded
+  /// this tenant — it was crashed off its host and then rejected on
+  /// re-arrival; -1 for everyone else. A federation router uses this to
+  /// re-route cell-outage victims to another cell.
+  std::int32_t lost_to_fault = -1;
   bool admitted = false;
   bool completed = false;
 };
@@ -188,6 +193,20 @@ class FleetReport {
     int readmitted = 0;         // victims re-admitted on a survivor
     int lost = 0;               // victims rejected on re-arrival
     stats::SampleSet replace_ms;  // crash instant -> re-boot served
+
+    /// Recovery-SLO verdict against a declared p99 time-to-re-place
+    /// budget: pass iff no victim was permanently lost and the p99 (over
+    /// victims that re-booted; vacuously true with none) fits the budget.
+    /// Partition verdicts pass trivially — nobody dies in a partition.
+    bool slo_pass(sim::Nanos budget) const {
+      if (kind == "partition") {
+        return true;
+      }
+      return lost == 0 &&
+             (replace_ms.empty() ||
+              replace_ms.percentile(99.0) <=
+                  static_cast<double>(budget) / 1e6);
+    }
   };
   std::vector<RecoveryVerdict> recovery;
 
@@ -226,6 +245,26 @@ class FleetReport {
   /// no budget was set and no verdict line is rendered (keeping pinned
   /// goldens byte-identical).
   sim::Nanos boot_slo_ms = 0;
+
+  /// Recovery budget copied from TrafficSpec::replace_slo_ms; zero means
+  /// no budget was set and no pass/fail is rendered (keeping budget-less
+  /// chaos output byte-identical).
+  sim::Nanos replace_slo_ms = 0;
+
+  /// Fleet recovery-SLO verdict: every fault's verdict passes the declared
+  /// budget. True (vacuously) when no budget is set or no fault fired, so
+  /// callers can gate on it unconditionally.
+  bool recovery_slo_pass() const {
+    if (replace_slo_ms <= 0) {
+      return true;
+    }
+    for (const RecoveryVerdict& v : recovery) {
+      if (!v.slo_pass(replace_slo_ms)) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   /// Fraction of boots within the SLO budget, over every boot the run
   /// observed (all platforms, all hosts, every churn round). Only

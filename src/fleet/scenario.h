@@ -2,12 +2,27 @@
 //
 // Separates *what the fleet does* (tenant arrivals, platform mix, workload
 // mix) from *how the platforms behave* (the cost models under src/platforms
-// and src/hostk), in the spirit of policy-aware middleware design. A
-// Scenario is a plain value; FleetEngine (engine.h) executes it against one
-// shared core::HostSystem. The built-in scenarios cover the consolidation
-// questions the paper raises but only answers one tenant at a time:
-// serverless cold-start storms, density sweeps to first OOM, and
-// steady-state mixed-platform fleets.
+// and src/hostk), in the spirit of policy-aware middleware design. Since the
+// federation redesign the split is explicit in the types:
+//
+//   TrafficSpec — global policy: who arrives when, what they run, which
+//                 SLOs the run is held to, and the seed. One TrafficSpec
+//                 drives a whole federation; it knows nothing about hosts.
+//   CellSpec    — cell-scoped mechanism: topology, placement policy,
+//                 autoscaling, operator host events, fault injection, and
+//                 the execution thread knob for ONE cluster cell.
+//   Scenario    — TrafficSpec + CellSpec glued back together (by
+//                 inheritance, so every existing `s.tenant_count` /
+//                 `s.cluster` access keeps compiling verbatim). This is the
+//                 single-cluster API every test, bench, and golden uses.
+//
+// A Scenario is a plain value; FleetEngine (engine.h) executes it against
+// one shared core::HostSystem, fleet::Cluster shards it across hosts, and
+// fleet::Federation (federation.h) routes one TrafficSpec across K CellSpec
+// cells. The built-in scenarios cover the consolidation questions the paper
+// raises but only answers one tenant at a time: serverless cold-start
+// storms, density sweeps to first OOM, and steady-state mixed-platform
+// fleets.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +32,7 @@
 #include "fleet/chaos.h"
 #include "fleet/placement.h"
 #include "platforms/platform.h"
+#include "sim/rng.h"
 #include "sim/time.h"
 
 namespace fleet {
@@ -103,7 +119,23 @@ struct WorkloadShare {
   double weight = 1.0;
 };
 
-struct Scenario {
+/// One fully-drawn tenant: arrival instant, platform, private RNG stream
+/// (already forked and advanced past the phase draws), and workload phases.
+/// TrafficSpec::draw_population() materializes the whole population exactly
+/// as FleetEngine used to draw it inline, so a federation can draw once
+/// globally, route seeds to cells, and each cell replays its subset
+/// byte-identically to a standalone run of the same tenants.
+struct TenantSeed {
+  sim::Nanos arrival = 0;
+  platforms::PlatformId platform_id = platforms::PlatformId::kQemuKvm;
+  sim::Rng rng{0};
+  std::vector<platforms::WorkloadClass> phases;
+};
+
+/// Global policy half of a scenario: the traffic (who arrives when, running
+/// what) and the service-level objectives it is held to. Shared verbatim by
+/// every cell of a federation; contains nothing about hosts or topology.
+struct TrafficSpec {
   std::string name = "custom";
 
   // --- Tenant population --------------------------------------------------
@@ -113,6 +145,12 @@ struct Scenario {
   sim::Nanos arrival_window = sim::millis(100);
   /// Mean arrival rate (kPoisson).
   double arrival_rate_per_sec = 100.0;
+
+  /// Explicit pre-drawn population. Empty (the default) means the engine
+  /// draws tenant_count tenants from the seed via draw_population(); a
+  /// federation router fills this with each cell's routed subset instead,
+  /// and the engine then ignores tenant_count / arrival knobs entirely.
+  std::vector<TenantSeed> population;
 
   // --- Platform and workload mix ------------------------------------------
   std::vector<PlatformShare> platform_mix;
@@ -127,20 +165,50 @@ struct Scenario {
   /// Bytes read through the host I/O path during an I/O phase.
   std::uint64_t io_bytes_per_phase = 32ull << 20;
 
-  // --- Memory / density ---------------------------------------------------
+  // --- Per-tenant memory ---------------------------------------------------
   /// Guest RAM reserved per hypervisor-backed tenant.
   std::uint64_t guest_ram_bytes = 512ull << 20;
   /// Boot image pulled through the host page cache on every boot.
   std::uint64_t image_bytes = 128ull << 20;
-  /// Deduplicate identical VM pages across tenants (Section 3.2's KSM).
-  bool enable_ksm = true;
-  /// Density-sweep mode: stop admitting at the first tenant whose projected
-  /// resident set exceeds host RAM, and record it.
-  bool stop_at_first_oom = false;
-  /// Host RAM cap for the density check, applied to every host; 0 means
-  /// use each HostSystem's spec.
-  std::uint64_t host_ram_override_bytes = 0;
 
+  // --- Service-level objectives -------------------------------------------
+  /// Cold-start budget: when positive, the report renders the fraction of
+  /// boots (admission to serving, across all platforms and churn rounds)
+  /// that finished within it. Zero disables the verdict line entirely, so
+  /// budget-less runs stay byte-identical to the pinned goldens. NOTE:
+  /// typed sim::Nanos like every duration here — assign via
+  /// sim::millis(...), not a bare number.
+  sim::Nanos boot_slo_ms = 0;
+  /// Recovery budget: when positive, every crash fault's RecoveryVerdict
+  /// renders pass/fail against this p99 time-to-re-place budget (and fails
+  /// outright if any victim was lost), so chaos runs can gate like perf
+  /// runs do. Zero disables the verdict, keeping budget-less chaos output
+  /// byte-identical.
+  sim::Nanos replace_slo_ms = 0;
+
+  // --- Churn (long-horizon runs) ------------------------------------------
+  /// Times each tenant re-enters the fleet after teardown: its resources
+  /// are released, it idles churn_gap, then re-arrives and faces placement
+  /// and admission again (possibly on a different host). 0 = single pass.
+  int churn_rounds = 0;
+  sim::Nanos churn_gap = sim::millis(100);
+
+  // --- Reproducibility ----------------------------------------------------
+  std::uint64_t seed = 0xF1EE'75EE'D000'0001ull;
+
+  /// Draw the full tenant population from the seed: arrival times first
+  /// (then sorted), then per tenant a platform pick, a forked private RNG,
+  /// and the workload phases off that fork — the exact draw sequence the
+  /// engine performed inline before populations became explicit, so a run
+  /// fed the returned seeds is byte-identical to one that draws its own.
+  std::vector<TenantSeed> draw_population() const;
+};
+
+/// Cell-scoped mechanism half of a scenario: everything that describes ONE
+/// cluster cell — its hosts, how tenants are placed on them, how it scales,
+/// what faults hit it, and how it executes. A federation carries K of
+/// these, one per cell, possibly heterogeneous.
+struct CellSpec {
   // --- Cluster ------------------------------------------------------------
   /// Host count and per-host shape; host_count 1 is the single-host engine.
   ClusterTopology cluster;
@@ -153,35 +221,33 @@ struct Scenario {
   /// Explicit timed add/drain hooks, evaluated alongside the autoscaler.
   std::vector<HostEvent> host_events;
   /// Fault injection (chaos.h): timed and seeded-random host crashes,
-  /// network partitions, and rack-correlated faults. Resolved and
-  /// validated at run start, then injected as first-class events on the
-  /// same global deterministic queue as everything else.
+  /// network partitions, rack-correlated faults, and whole-cell outages.
+  /// Resolved and validated at run start, then injected as first-class
+  /// events on the same global deterministic queue as everything else.
   FaultSpec faults;
+
+  // --- Memory mechanism ----------------------------------------------------
+  /// Deduplicate identical VM pages across tenants (Section 3.2's KSM).
+  bool enable_ksm = true;
+  /// Density-sweep mode: stop admitting at the first tenant whose projected
+  /// resident set exceeds host RAM, and record it.
+  bool stop_at_first_oom = false;
+  /// Host RAM cap for the density check, applied to every host; 0 means
+  /// use each HostSystem's spec.
+  std::uint64_t host_ram_override_bytes = 0;
+
+  // --- Execution -----------------------------------------------------------
   /// Worker threads for the engine's parallel execution mode (cluster runs
   /// only; single-host runs ignore it). 1 = the sequential loop. Any value
   /// produces byte-identical reports — threads is an execution knob, not a
   /// model parameter, so it never appears in the report text.
   int threads = 1;
+};
 
-  // --- Service-level objectives -------------------------------------------
-  /// Cold-start budget: when positive, the report renders the fraction of
-  /// boots (admission to serving, across all platforms and churn rounds)
-  /// that finished within it. Zero disables the verdict line entirely, so
-  /// budget-less runs stay byte-identical to the pinned goldens. NOTE:
-  /// typed sim::Nanos like every duration here — assign via
-  /// sim::millis(...), not a bare number.
-  sim::Nanos boot_slo_ms = 0;
-
-  // --- Churn (long-horizon runs) ------------------------------------------
-  /// Times each tenant re-enters the fleet after teardown: its resources
-  /// are released, it idles churn_gap, then re-arrives and faces placement
-  /// and admission again (possibly on a different host). 0 = single pass.
-  int churn_rounds = 0;
-  sim::Nanos churn_gap = sim::millis(100);
-
-  // --- Reproducibility ----------------------------------------------------
-  std::uint64_t seed = 0xF1EE'75EE'D000'0001ull;
-
+/// The single-cluster scenario: one TrafficSpec applied to one CellSpec.
+/// Inheritance keeps the pre-federation flat field access (`s.tenant_count`,
+/// `s.cluster`, `s.placement`, ...) compiling unchanged everywhere.
+struct Scenario : TrafficSpec, CellSpec {
   /// Serverless burst: many small tenants on boot-optimized platforms all
   /// arriving at once; one phase each, then teardown (Figures 13-15 at
   /// fleet scale).
@@ -215,7 +281,8 @@ struct Scenario {
   /// crashes mid-storm. Its victims surge back through placement and
   /// admission on the survivors, the lost capacity pushes the resident
   /// fraction over the scale-out watermark, and the recovery verdict
-  /// records time-to-re-place percentiles and the re-admission fraction.
+  /// records time-to-re-place percentiles and the re-admission fraction
+  /// against a declared replace_slo_ms budget.
   static Scenario crash_recovery(int tenants, int hosts, int max_hosts);
 
   /// Correlated failure: the hosts split into two named racks and one

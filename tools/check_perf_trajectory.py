@@ -40,6 +40,14 @@ floor; changed event counts or recovery outcomes (victims, re-admission
 fraction, time-to-re-place p99) are reported as behavior changes, since
 the chaos suite's determinism tests pin them separately.
 
+schema_version 7 adds a "federation" list (fleet_scale --cells): the
+federation storm routed across K cluster cells, one entry per
+(cells, hosts_per_cell, tenants) shape with per-routing-policy runs.
+Gated config-matched per routing policy on wall-clock ratio and the
+events_per_sec floor; changed event counts or inter-cell spill totals
+are reported as behavior changes (the federation determinism tests pin
+the reports themselves).
+
 Usage:
   check_perf_trajectory.py FRESH.json COMMITTED.json \
       [--tenants 1000] [--max-ratio 3.0]
@@ -288,6 +296,58 @@ def check_chaos(fresh_doc, committed_doc, max_ratio):
     return failed
 
 
+def check_federation(fresh_doc, committed_doc, max_ratio):
+    """Gate every committed federation sweep shape; returns True on
+    failure."""
+    base_blocks = committed_doc.get("federation", [])
+    if not base_blocks:
+        return False  # nothing committed to gate against
+    fresh_blocks = fresh_doc.get("federation", [])
+    if not fresh_blocks:
+        print("  federation sweeps MISSING from fresh results")
+        return True
+    fresh_by_config = {(b.get("cells"), b.get("hosts_per_cell"),
+                        b.get("tenants")): b
+                       for b in fresh_blocks}
+    failed = False
+    for base in base_blocks:
+        config = (base.get("cells"), base.get("hosts_per_cell"),
+                  base.get("tenants"))
+        fresh = fresh_by_config.get(config)
+        if fresh is None:
+            print(f"  federation sweep  no fresh block for committed "
+                  f"cells={config[0]} hosts_per_cell={config[1]} "
+                  f"tenants={config[2]} -- skipped, not gated")
+            continue
+        print(f"federation sweep at {config[2]} tenants across "
+              f"{config[0]} cells x {config[1]} hosts:")
+        fresh_runs = {r["routing"]: r for r in fresh.get("runs", [])}
+        for run in base.get("runs", []):
+            routing = run["routing"]
+            fresh_run = fresh_runs.get(routing)
+            if fresh_run is None:
+                print(f"  {routing:<18} MISSING from fresh results")
+                failed = True
+                continue
+            ratio = (fresh_run["wall_ms"] / run["wall_ms"]
+                     if run["wall_ms"] > 0 else 0.0)
+            verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+            print(f"  {routing:<18} committed {run['wall_ms']:8.1f} ms   "
+                  f"fresh {fresh_run['wall_ms']:8.1f} ms   "
+                  f"ratio {ratio:4.2f}x   {verdict}")
+            if ratio > max_ratio:
+                failed = True
+            if throughput_floor_failed(routing, run, fresh_run, max_ratio):
+                failed = True
+            for key in ("events", "spills", "admitted"):
+                if fresh_run.get(key) != run.get(key):
+                    print(f"  {routing:<18} note: {key} changed "
+                          f"{run.get(key)} -> {fresh_run.get(key)} "
+                          f"(federation behavior change — the federation "
+                          f"determinism tests pin the reports)")
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("fresh", help="JSON from the CI run")
@@ -336,6 +396,8 @@ def main():
     if check_autoscale(fresh_doc, committed_doc, args.max_ratio):
         failed = True
     if check_chaos(fresh_doc, committed_doc, args.max_ratio):
+        failed = True
+    if check_federation(fresh_doc, committed_doc, args.max_ratio):
         failed = True
     return 1 if failed else 0
 
