@@ -39,10 +39,17 @@
 // contract every other sweep enforces — and lands in the JSON as a
 // "federation" list with per-routing wall clock and inter-cell spills.
 //
+// With --programs the program storm (most tenants interpreting a built-in
+// syscall program over the HostKernel, src/fleet/program.h) is run twice —
+// byte-identical or bust — and its per-op latency tail and SLO verdict
+// land in the JSON as a "programs" block, so the perf gate tracks the
+// program interpreter's cost next to the statistical phase path.
+//
 // Usage: fleet_scale [--tenants N[,N...]] [--hosts M]
 //                    [--clusters NxM[,NxM...]] [--threads N[,N...]]
 //                    [--cells KxMxN[,KxMxN...]]
-//                    [--autoscale] [--chaos] [--out PATH] [--no-json]
+//                    [--autoscale] [--chaos] [--programs]
+//                    [--out PATH] [--no-json]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -361,6 +368,68 @@ bool run_chaos(int tenants, int hosts, ChaosResult* out) {
   return true;
 }
 
+/// The program storm: per-tenant interpreted syscall programs, reported as
+/// op throughput and the worst per-class p99 next to wall-clock.
+struct ProgramsResult {
+  int tenants = 0;
+  int hosts = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  int admitted = 0;
+  int completed = 0;
+  int program_tenants = 0;       // tenants that interpreted a program
+  std::uint64_t total_ops = 0;   // summed across programs and op classes
+  double ops_per_sec = 0.0;      // total_ops / wall
+  double op_p99_worst_ms = 0.0;  // worst per-class p99 across programs
+  bool slo_pass = false;
+  double makespan_ms = 0.0;
+};
+
+/// Program storm run twice (byte-identical or bust). Returns false on a
+/// determinism violation.
+bool run_programs(int tenants, int hosts, ProgramsResult* out) {
+  const auto scenario = fleet::Scenario::program_storm(tenants, hosts);
+  double wall_a = 0.0;
+  double wall_b = 0.0;
+  const auto a = run_cluster_once(scenario, &wall_a);
+  const auto b = run_cluster_once(scenario, &wall_b);
+  if (a.to_text() != b.to_text() || a.events_processed != b.events_processed) {
+    std::fprintf(stderr,
+                 "fleet_scale: DETERMINISM VIOLATION — program storm "
+                 "produced different reports across two fresh runs\n");
+    return false;
+  }
+  out->tenants = tenants;
+  out->hosts = hosts;
+  out->wall_ms = std::min(wall_a, wall_b);
+  out->events = a.events_processed;
+  out->events_per_sec =
+      out->wall_ms > 0.0
+          ? static_cast<double>(out->events) / (out->wall_ms / 1e3)
+          : 0.0;
+  out->admitted = a.admitted;
+  out->completed = a.completed;
+  for (const auto& [name, prog] : a.by_program) {
+    (void)name;
+    out->program_tenants += prog.tenants;
+    for (const auto& cls : prog.by_class) {
+      out->total_ops += cls.ops;
+      if (!cls.op_ms.empty()) {
+        out->op_p99_worst_ms =
+            std::max(out->op_p99_worst_ms, cls.op_ms.percentile(99));
+      }
+    }
+  }
+  out->ops_per_sec =
+      out->wall_ms > 0.0
+          ? static_cast<double>(out->total_ops) / (out->wall_ms / 1e3)
+          : 0.0;
+  out->slo_pass = a.program_slo_pass();
+  out->makespan_ms = sim::to_millis(a.makespan);
+  return true;
+}
+
 /// One routing policy's run of the federation storm at one shape.
 struct FederationRunResult {
   std::string routing;
@@ -658,6 +727,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                 const ParallelSweep* parallel,
                 const RetryDifferentialResult* retry,
                 const AutoscaleResult* autoscale, const ChaosResult* chaos,
+                const ProgramsResult* programs,
                 const std::vector<FederationBlock>& federations) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -666,7 +736,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
-  std::fprintf(f, "  \"schema_version\": 7,\n");
+  std::fprintf(f, "  \"schema_version\": 8,\n");
   std::fprintf(f, "  \"unit\": {\"wall_ms\": \"milliseconds\", "
                   "\"events_per_sec\": \"simulator events per second\"},\n");
   std::fprintf(f, "  \"runs\": [\n");
@@ -741,7 +811,8 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   const bool more = !clusters.empty() || parallel != nullptr ||
                     autoscale != nullptr || retry != nullptr ||
-                    chaos != nullptr || !federations.empty();
+                    chaos != nullptr || programs != nullptr ||
+                    !federations.empty();
   std::fprintf(f, "}%s\n", more ? "," : "");
   if (!clusters.empty()) {
     std::fprintf(f, "  \"clusters\": [\n");
@@ -779,7 +850,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     std::fprintf(f, "  ]%s\n",
                  parallel != nullptr || retry != nullptr ||
                          autoscale != nullptr || chaos != nullptr ||
-                         !federations.empty()
+                         programs != nullptr || !federations.empty()
                      ? ","
                      : "");
   }
@@ -805,7 +876,8 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     }
     std::fprintf(f, "    ]\n  }%s\n",
                  retry != nullptr || autoscale != nullptr ||
-                         chaos != nullptr || !federations.empty()
+                         chaos != nullptr || programs != nullptr ||
+                         !federations.empty()
                      ? ","
                      : "");
   }
@@ -827,7 +899,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  retry->spills, retry->wall_ms);
     std::fprintf(f, "  }%s\n",
                  autoscale != nullptr || chaos != nullptr ||
-                         !federations.empty()
+                         programs != nullptr || !federations.empty()
                      ? ","
                      : "");
   }
@@ -856,7 +928,10 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                     "\"tenants_admitted\": %d}\n",
                  r.fixed_admitted, r.fixed_tenants_admitted);
     std::fprintf(f, "  }%s\n",
-                 chaos != nullptr || !federations.empty() ? "," : "");
+                 chaos != nullptr || programs != nullptr ||
+                         !federations.empty()
+                     ? ","
+                     : "");
   }
   if (chaos != nullptr) {
     const ChaosResult& r = *chaos;
@@ -879,6 +954,29 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  "\"scale_outs\": %d}\n",
                  r.victims, r.readmitted, r.lost, r.readmission_fraction,
                  r.replace_p50_ms, r.replace_p99_ms, r.scale_outs);
+    std::fprintf(f, "  }%s\n",
+                 programs != nullptr || !federations.empty() ? "," : "");
+  }
+  if (programs != nullptr) {
+    const ProgramsResult& r = *programs;
+    std::fprintf(f, "  \"programs\": {\n");
+    std::fprintf(f, "    \"scenario\": \"program-storm\",\n");
+    std::fprintf(f, "    \"hosts\": %d,\n", r.hosts);
+    std::fprintf(f, "    \"tenants\": %d,\n", r.tenants);
+    std::fprintf(f, "    \"determinism\": \"program storm run twice against "
+                    "fresh clusters, reports byte-identical\",\n");
+    std::fprintf(f,
+                 "    \"run\": {\"wall_ms\": %.1f, \"events\": %llu, "
+                 "\"events_per_sec\": %.0f, \"makespan_ms\": %.2f},\n",
+                 r.wall_ms, static_cast<unsigned long long>(r.events),
+                 r.events_per_sec, r.makespan_ms);
+    std::fprintf(f,
+                 "    \"ops\": {\"program_tenants\": %d, \"total_ops\": %llu, "
+                 "\"ops_per_sec\": %.0f, \"op_p99_worst_ms\": %.3f, "
+                 "\"slo_pass\": %s}\n",
+                 r.program_tenants,
+                 static_cast<unsigned long long>(r.total_ops), r.ops_per_sec,
+                 r.op_p99_worst_ms, r.slo_pass ? "true" : "false");
     std::fprintf(f, "  }%s\n", federations.empty() ? "" : ",");
   }
   if (!federations.empty()) {
@@ -926,6 +1024,7 @@ int main(int argc, char** argv) {
   bool json = true;
   bool autoscale = false;
   bool chaos = false;
+  bool programs = false;
   int hosts = 1;
   std::vector<ClusterBlock> extra_clusters;
   std::vector<FederationBlock> federations;
@@ -968,6 +1067,8 @@ int main(int argc, char** argv) {
       autoscale = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(argv[i], "--programs") == 0) {
+      programs = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
@@ -977,7 +1078,8 @@ int main(int argc, char** argv) {
                    "usage: fleet_scale [--tenants N[,N...]] [--hosts M] "
                    "[--clusters NxM[,NxM...]] [--threads N[,N...]] "
                    "[--cells KxMxN[,KxMxN...]] "
-                   "[--autoscale] [--chaos] [--out PATH] [--no-json]\n");
+                   "[--autoscale] [--chaos] [--programs] "
+                   "[--out PATH] [--no-json]\n");
       return 2;
     }
   }
@@ -987,6 +1089,10 @@ int main(int argc, char** argv) {
   }
   if (chaos && hosts < 2) {
     std::fprintf(stderr, "fleet_scale: --chaos needs --hosts >= 2\n");
+    return 2;
+  }
+  if (programs && hosts < 2) {
+    std::fprintf(stderr, "fleet_scale: --programs needs --hosts >= 2\n");
     return 2;
   }
   if (sizes.empty()) {
@@ -1154,6 +1260,24 @@ int main(int argc, char** argv) {
                 chaos_result.scale_outs, chaos_result.wall_ms);
   }
 
+  ProgramsResult programs_result;
+  if (programs) {
+    const int pg_tenants = *std::max_element(sizes.begin(), sizes.end());
+    std::printf("\nprogram-storm: %d tenants x %d hosts, built-in syscall "
+                "programs over the HostKernel, run twice\n\n",
+                pg_tenants, hosts);
+    if (!run_programs(pg_tenants, hosts, &programs_result)) {
+      return 1;
+    }
+    std::printf("program tenants %d, %llu ops (%.0f ops/sec), worst per-class "
+                "p99 %.3f ms, SLO %s, wall %.1f ms\n",
+                programs_result.program_tenants,
+                static_cast<unsigned long long>(programs_result.total_ops),
+                programs_result.ops_per_sec, programs_result.op_p99_worst_ms,
+                programs_result.slo_pass ? "PASS" : "FAIL",
+                programs_result.wall_ms);
+  }
+
   for (FederationBlock& block : federations) {
     std::printf("\nfederation-storm: %d tenants routed across %d cells x %d "
                 "hosts, every routing policy run twice\n\n",
@@ -1182,7 +1306,8 @@ int main(int argc, char** argv) {
                want_parallel ? &parallel_sweep : nullptr,
                hosts > 1 ? &retry_result : nullptr,
                autoscale ? &autoscale_result : nullptr,
-               chaos ? &chaos_result : nullptr, federations);
+               chaos ? &chaos_result : nullptr,
+               programs ? &programs_result : nullptr, federations);
   }
   return 0;
 }

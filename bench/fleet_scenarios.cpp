@@ -164,5 +164,19 @@ int main(int argc, char** argv) {
               crash_report.crash_lost);
   print_report(crash_report);
 
+  // --- 7. Syscall-program storm ---------------------------------------------
+  // Most tenants interpret a built-in syscall program through the
+  // HostKernel instead of drawing statistical phases; a statistical control
+  // share rides along on the same hosts. The report grows a per-program
+  // rollup with per-op-class p50/p99 and SLO verdicts, and must stay
+  // byte-identical across runs and thread counts like everything else.
+  auto programs = fleet::Scenario::program_storm(160, 2);
+  programs.threads = threads;
+  fleet::Cluster program_cluster(programs.cluster);
+  const auto program_report = program_cluster.run(programs);
+  std::printf("--- %s: %d tenants, built-in programs over the HostKernel ---\n",
+              programs.name.c_str(), programs.tenant_count);
+  print_report(program_report);
+
   return 0;
 }

@@ -53,6 +53,19 @@ std::uint64_t image_file_id(PlatformId id) {
   return 0xF1EE'0000ull + static_cast<std::uint64_t>(id);
 }
 
+/// Page-cache file ids for program ops: one private stream per tenant and
+/// one shared file per built-in program (an image or common dataset the
+/// whole program population reads). Both ranges sit far above the 32-bit
+/// image/IO-phase ids, so they can never collide with them.
+constexpr std::uint64_t kProgramFileBase = 0x509A'0000'0000ull;
+constexpr std::uint64_t kProgramSharedBase = 0xA119'0000'0000ull;
+
+std::uint64_t program_file_id(const FleetEngine&, std::uint64_t tenant,
+                              int program, bool shared) {
+  return shared ? kProgramSharedBase + static_cast<std::uint64_t>(program)
+                : kProgramFileBase + tenant;
+}
+
 /// Digest runs for one hypervisor tenant's guest RAM at kFleetPageBytes
 /// granularity: a merged-everywhere zero-page run, a per-image run that
 /// merges across tenants of the same platform, and a tenant-private run.
@@ -467,7 +480,8 @@ void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
   }
   auto& stats = *slot;
   t.stats = &stats;
-  if (!t.counted_in_stats) {
+  const bool first_boot = !t.counted_in_stats;
+  if (first_boot) {
     // Distinct tenants, not boots: churn re-arrivals add boot/phase
     // samples but must not inflate the fleet-composition column.
     ++stats.tenants;
@@ -488,6 +502,28 @@ void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
     ++report_.crash_readmitted;
     report_.replace_ms.add(ms);
     t.crash_fault = -1;
+  }
+
+  if (t.program >= 0) {
+    // Program tenants interpret their syscall program instead of the drawn
+    // statistical phases. The cursor is reset at *every* boot completion:
+    // a crash or drain loses the in-flight cursor, and the re-admitted
+    // tenant starts its program over from the top.
+    const SyscallProgram& prog = builtin_program(t.program);
+    ProgramFleetStats*& pslot =
+        pstats_by_id_[static_cast<std::size_t>(t.program)];
+    if (pslot == nullptr) {
+      pslot = &report_.by_program[prog.name];
+      pslot->program = prog.name;
+    }
+    t.pstats = pslot;
+    if (first_boot) {
+      ++pslot->tenants;
+    }
+    t.prog_op = 0;
+    t.prog_loops_left = std::max(1, prog.loops);
+    start_program_op(t, s);
+    return;
   }
 
   if (t.phases.empty()) {
@@ -534,6 +570,129 @@ void FleetEngine::handle_phase_done(Tenant& t, const Scenario& s) {
   queue_.push(t.clock.now(), t.id, EventKind::kTeardown, t.epoch);
 }
 
+void FleetEngine::start_program_op(Tenant& t, const Scenario& s) {
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+  const SyscallProgram& prog = builtin_program(t.program);
+  const ProgramOp& op = prog.ops[static_cast<std::size_t>(t.prog_op)];
+  const OpClass cls = op_class(op.sc);
+  t.prog_vcpus = op_vcpus(cls);
+  sh.cpu_demand += t.prog_vcpus;
+  if (cls == OpClass::kNetwork) {
+    ++sh.net_active;
+  }
+  t.in_flight = Tenant::InFlight::kProgram;
+  note_peaks(sh);
+  t.phase_start = t.clock.now();
+  // Service time excludes the think gap: the op-latency sample the report
+  // percentiles come from is the modeled syscall, not the idle wait.
+  t.prog_service = program_op_cost(t, op, s);
+  t.clock.advance(t.prog_service + op.think);
+  queue_.push(t.clock.now(), t.id, EventKind::kProgramStep, t.epoch);
+}
+
+sim::Nanos FleetEngine::program_op_cost(Tenant& t, const ProgramOp& op,
+                                        const Scenario& s) {
+  (void)s;
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+  // The kernel charge is the first-class part: every op dispatches through
+  // HostKernel::invoke, so programs light up the same ftrace/HAP machinery
+  // the statistical phases do — per *syscall*, not per workload class.
+  sim::Nanos cost = sh.host->kernel().invoke(op.sc, t.rng, op.repeat);
+  const OpClass cls = op_class(op.sc);
+  const std::uint64_t payload =
+      op.bytes * static_cast<std::uint64_t>(op.repeat);
+  switch (cls) {
+    case OpClass::kFile:
+      if (payload > 0 && !op_is_write(op.sc)) {
+        // Reads walk the host page cache; only misses touch the NVMe.
+        auto& cache = sh.host->page_cache();
+        const std::uint64_t misses = cache.access_range(
+            program_file_id(*this, t.id, t.program, op.shared_file), 0,
+            payload);
+        if (misses > 0) {
+          cost += sh.host->nvme().read(misses * hostk::PageCache::kPageSize,
+                                       t.rng);
+        }
+      }
+      // Writes are buffered: they dirty the cache for free and pay the
+      // device only when an explicit fsync flushes them.
+      break;
+    case OpClass::kSync:
+      cost += sh.host->nvme().write(
+          std::max<std::uint64_t>(payload, hostk::PageCache::kPageSize),
+          t.rng);
+      break;
+    case OpClass::kMemory:
+      if (payload > 0) {
+        // mmap-backed data faults through the same cache/device path.
+        auto& cache = sh.host->page_cache();
+        const std::uint64_t misses = cache.access_range(
+            program_file_id(*this, t.id, t.program, op.shared_file), 0,
+            payload);
+        if (misses > 0) {
+          cost += sh.host->nvme().read(misses * hostk::PageCache::kPageSize,
+                                       t.rng);
+        }
+      }
+      break;
+    case OpClass::kNetwork:
+      if (payload > 0) {
+        auto& nic = sh.host->nic();
+        cost += nic.transfer_time(payload, t.rng) *
+                    std::max(1, sh.net_active) +
+                nic.latency(t.rng);
+      }
+      break;
+    case OpClass::kOther:
+      break;
+  }
+  auto total =
+      static_cast<sim::Nanos>(static_cast<double>(cost) * sh.cpu_factor());
+  if (cls == OpClass::kNetwork && payload > 0) {
+    // Same rule as statistical network phases: a partition freezes NIC
+    // progress and the op stretches by exactly the window overlap.
+    const sim::Nanos stalled =
+        partition_stall(sh.rollup.host, t.clock.now(), total);
+    if (stalled != total) {
+      ++sh.rollup.nic_stalls;
+      total = stalled;
+    }
+  }
+  return total;
+}
+
+void FleetEngine::handle_program_step(Tenant& t, const Scenario& s) {
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+  const SyscallProgram& prog = builtin_program(t.program);
+  const ProgramOp& op = prog.ops[static_cast<std::size_t>(t.prog_op)];
+  const OpClass cls = op_class(op.sc);
+  sh.cpu_demand -= t.prog_vcpus;
+  if (cls == OpClass::kNetwork) {
+    --sh.net_active;
+  }
+  t.in_flight = Tenant::InFlight::kNone;
+  auto& pcls = t.pstats->by_class[static_cast<std::size_t>(cls)];
+  pcls.ops += op.repeat;
+  pcls.op_ms.add(sim::to_millis(t.prog_service));
+  ++t.outcome.phases_run;
+
+  ++t.prog_op;
+  if (t.prog_op < static_cast<int>(prog.ops.size())) {
+    start_program_op(t, s);
+    return;
+  }
+  t.prog_op = 0;
+  if (--t.prog_loops_left > 0) {
+    start_program_op(t, s);
+    return;
+  }
+  // Teardown costs one more trace-visible startup-class interaction, same
+  // as a statistical tenant's exit.
+  t.platform->record_workload(WorkloadClass::kStartup, t.rng);
+  t.clock.advance(sim::millis(t.rng.uniform(2.0, 8.0)));
+  queue_.push(t.clock.now(), t.id, EventKind::kTeardown, t.epoch);
+}
+
 void FleetEngine::release_core(Shard& sh, Tenant& t) {
   switch (t.in_flight) {
     case Tenant::InFlight::kBoot:
@@ -543,6 +702,15 @@ void FleetEngine::release_core(Shard& sh, Tenant& t) {
       const WorkloadClass w = t.phases[static_cast<std::size_t>(t.next_phase)];
       sh.cpu_demand -= workload_vcpus(w);
       if (w == WorkloadClass::kNetwork) {
+        --sh.net_active;
+      }
+      break;
+    }
+    case Tenant::InFlight::kProgram: {
+      sh.cpu_demand -= t.prog_vcpus;
+      const ProgramOp& op = builtin_program(t.program)
+                                .ops[static_cast<std::size_t>(t.prog_op)];
+      if (op_class(op.sc) == OpClass::kNetwork) {
         --sh.net_active;
       }
       break;
@@ -1032,6 +1200,9 @@ void FleetEngine::process_event(const Event& e, const Scenario& s,
     case EventKind::kPhaseDone:
       handle_phase_done(t, s);
       break;
+    case EventKind::kProgramStep:
+      handle_program_step(t, s);
+      break;
     case EventKind::kTeardown:
       handle_teardown(t, s);
       break;
@@ -1095,6 +1266,24 @@ FleetReport FleetEngine::run(const Scenario& s) {
     throw std::invalid_argument(
         "FleetEngine::run: scenario needs a platform mix and a workload mix");
   }
+  if (s.phases_per_tenant <= 0) {
+    // Zero phases would silently draw no workload at all and tear every
+    // tenant down straight out of boot — a mis-specified scenario, not a
+    // meaningful population.
+    throw std::invalid_argument(
+        "FleetEngine::run: phases_per_tenant must be positive");
+  }
+  for (const ProgramShare& share : s.program_mix) {
+    if (share.weight <= 0.0) {
+      throw std::invalid_argument(
+          "FleetEngine::run: program_mix weights must be positive");
+    }
+    if (share.program < -1 || share.program >= builtin_program_count()) {
+      throw std::invalid_argument(
+          "FleetEngine::run: program_mix references an unknown program (use "
+          "-1 for the statistical share)");
+    }
+  }
   if (shards_.size() > 1 && policy_ == nullptr) {
     throw std::invalid_argument(
         "FleetEngine::run: cluster runs need a placement policy");
@@ -1133,6 +1322,7 @@ FleetReport FleetEngine::run(const Scenario& s) {
   }
   report_.boot_slo_ms = s.boot_slo_ms;
   report_.replace_slo_ms = s.replace_slo_ms;
+  report_.op_slo_ms = s.op_slo_ms;
   tenants_.clear();
   global_clock_.reset();
   active_ = 0;
@@ -1154,6 +1344,7 @@ FleetReport FleetEngine::run(const Scenario& s) {
                    !s.host_events.empty() || s.faults.enabled();
   live_hosts_ = static_cast<int>(shards_.size());
   stats_by_id_.fill(nullptr);
+  pstats_by_id_.fill(nullptr);
   if (policy_ != nullptr) {
     policy_->reset();
   }
@@ -1206,6 +1397,7 @@ FleetReport FleetEngine::run(const Scenario& s) {
     t.outcome.id = t.id;
     t.outcome.platform_id = t.platform_id;
     t.outcome.arrival = seed.arrival;
+    t.program = seed.program;
   }
   // Arrivals are seeded lazily — only the next initial arrival sits in the
   // queue — so a tripped density-stop latch can reject the unseeded tail

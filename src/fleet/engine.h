@@ -28,6 +28,7 @@
 #include "fleet/chaos.h"
 #include "fleet/event_queue.h"
 #include "fleet/placement.h"
+#include "fleet/program.h"
 #include "fleet/report.h"
 #include "fleet/scenario.h"
 #include "hap/epss.h"
@@ -101,8 +102,31 @@ class FleetEngine {
     bool ksm_registered = false;
     bool counted_in_stats = false;  // already in its platform's tenant count
     /// What demand the tenant currently charges its shard, so a drain can
-    /// release it exactly (a boot's kBootVcpus, a phase's vcpus + NIC slot).
-    enum class InFlight { kNone, kBoot, kPhase } in_flight = InFlight::kNone;
+    /// release it exactly (a boot's kBootVcpus, a phase's vcpus + NIC slot,
+    /// a program op's op_vcpus + NIC slot).
+    enum class InFlight {
+      kNone,
+      kBoot,
+      kPhase,
+      kProgram
+    } in_flight = InFlight::kNone;
+    /// Built-in syscall program this tenant interprets (fleet/program.h);
+    /// -1 = statistical phases. Copied from the TenantSeed.
+    int program = -1;
+    /// Interpreter cursor: current op index and whole-list repetitions
+    /// still owed. Both reset when a boot completes, so a crash victim's
+    /// re-boot restarts its program from the top (the cursor is lost with
+    /// the host).
+    int prog_op = 0;
+    int prog_loops_left = 0;
+    /// Demand and service time of the in-flight op, stashed so the
+    /// completion (and a drain/crash release) undoes and records exactly
+    /// what the start charged. Service excludes the op's think gap.
+    double prog_vcpus = 0.0;
+    sim::Nanos prog_service = 0;
+    /// Cached &report_.by_program[...] slot, resolved at boot completion
+    /// like `stats` (std::map nodes are pointer-stable).
+    ProgramFleetStats* pstats = nullptr;
     /// Admitted and not yet released (teardown or drain migration).
     bool holds_resources = false;
     /// CPU contention factor captured at the admitting arrival, applied by
@@ -173,6 +197,21 @@ class FleetEngine {
   /// Begin tenant t's next workload phase: account its demand, charge its
   /// cost, and schedule the completion event.
   void start_phase(Tenant& t, platforms::WorkloadClass w, const Scenario& s);
+
+  /// Begin the program op at t.prog_op: account its demand, dispatch it
+  /// through the host kernel and the shard's device models, and schedule
+  /// the kProgramStep completion.
+  void start_program_op(Tenant& t, const Scenario& s);
+  /// One program op completed: release its demand, record the latency
+  /// sample into the per-program rollup, and advance the interpreter
+  /// cursor (next op, next loop, or the teardown path).
+  void handle_program_step(Tenant& t, const Scenario& s);
+  /// Virtual duration of one program op: HostKernel::invoke (CPU cost +
+  /// ftrace hits) plus payload physics on the shard's page cache / NVMe /
+  /// NIC, stretched by CPU contention; network ops wait out partition
+  /// windows by exact overlap. Shard-local, so window workers may call it.
+  sim::Nanos program_op_cost(Tenant& t, const ProgramOp& op,
+                             const Scenario& s);
 
   /// Admission control against the tenant's shard: would its resident set
   /// still fit? Read-only on rejection — KSM fit is decided by
@@ -278,6 +317,11 @@ class FleetEngine {
                 "grow kPlatformIdSlots when adding PlatformId enumerators");
   std::array<PlatformFleetStats*, kPlatformIdSlots> stats_by_id_{};
 
+  /// by_program stats resolved once per built-in program id, mirroring
+  /// stats_by_id_.
+  static constexpr std::size_t kProgramIdSlots = 8;
+  std::array<ProgramFleetStats*, kProgramIdSlots> pstats_by_id_{};
+
   /// Lazy arrival seeding: only the next initial arrival sits in the queue
   /// (with a pre-reserved seq so same-timestamp tie order is unchanged).
   /// When the density-stop latch trips, the unseeded tail is rejected in
@@ -368,7 +412,11 @@ class FleetEngine {
     bool gen = false;           // handler scheduled one follow-up event
     EventKind gen_kind = EventKind::kArrival;
     sim::Nanos gen_time = 0;
-    double sample_ms = 0.0;     // boot_ms / phase_ms sample
+    double sample_ms = 0.0;     // boot_ms / phase_ms / program-op sample
+    /// kProgramStep payload: the op's class and repeat-expanded invocation
+    /// count; sample_ms carries its service latency.
+    std::uint8_t prog_class = 0;
+    std::uint32_t prog_ops = 0;
     FleetDelta delta{0, 0, 0, 0};  // teardown's fleet-counter deltas
     /// Crash-recovery resolution carried by a victim's kBootDone: the
     /// fault whose replace_ms gets `recovery_ms` during replay (-1: none).
@@ -396,6 +444,10 @@ class FleetEngine {
   void window_step(ShardTask& task, const Event& e, const Scenario& s);
   void worker_start_phase(ShardTask& task, WorkerRecord& r, Tenant& t,
                           platforms::WorkloadClass w, const Scenario& s);
+  /// Worker-side start_program_op: shard-local charges applied directly,
+  /// the report-side sample deferred into the record like phases.
+  void worker_start_program_op(ShardTask& task, WorkerRecord& r, Tenant& t,
+                               const Scenario& s);
   /// Whether an event born at `time` still belongs to the current window.
   /// Must evaluate identically on workers and during replay.
   bool birth_in_window(sim::Nanos time) const;

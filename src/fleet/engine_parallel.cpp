@@ -403,6 +403,7 @@ void FleetEngine::run_loop_parallel(const Scenario& s,
       }
       case EventKind::kBootDone:
       case EventKind::kPhaseDone:
+      case EventKind::kProgramStep:
       case EventKind::kTeardown: {
         // Window path. Full lane barrier first: window workers touch the
         // same shard state lanes do, and per-shard ordering requires all
@@ -502,6 +503,32 @@ void FleetEngine::worker_start_phase(ShardTask& task, WorkerRecord& r,
   r.gen_time = t.clock.now();
 }
 
+void FleetEngine::worker_start_program_op(ShardTask& task, WorkerRecord& r,
+                                          Tenant& t, const Scenario& s) {
+  Shard& sh = shards_[static_cast<std::size_t>(t.host)];
+  const SyscallProgram& prog = builtin_program(t.program);
+  const ProgramOp& op = prog.ops[static_cast<std::size_t>(t.prog_op)];
+  const OpClass cls = op_class(op.sc);
+  t.prog_vcpus = op_vcpus(cls);
+  sh.cpu_demand += t.prog_vcpus;
+  if (cls == OpClass::kNetwork) {
+    ++sh.net_active;
+  }
+  t.in_flight = Tenant::InFlight::kProgram;
+  // Same note_peaks split as worker_start_phase: shard slice here, the
+  // cpu-demand ratio folded as a running max and merged at replay.
+  note_shard_peaks(sh);
+  task.max_cpu_ratio = std::max(
+      task.max_cpu_ratio,
+      sh.cpu_demand / static_cast<double>(sh.host->spec().cpu_threads));
+  t.phase_start = t.clock.now();
+  t.prog_service = program_op_cost(t, op, s);
+  t.clock.advance(t.prog_service + op.think);
+  r.gen = true;
+  r.gen_kind = EventKind::kProgramStep;
+  r.gen_time = t.clock.now();
+}
+
 void FleetEngine::window_step(ShardTask& task, const Event& e,
                               const Scenario& s) {
   WorkerRecord r;
@@ -542,7 +569,13 @@ void FleetEngine::window_step(ShardTask& task, const Event& e,
             faults_[static_cast<std::size_t>(t.crash_fault)].time);
         t.crash_fault = -1;
       }
-      if (t.phases.empty()) {
+      if (t.program >= 0) {
+        // Program tenants restart their program at every boot completion;
+        // the pstats pointer is resolved at replay (report-side state).
+        t.prog_op = 0;
+        t.prog_loops_left = std::max(1, builtin_program(t.program).loops);
+        worker_start_program_op(task, r, t, s);
+      } else if (t.phases.empty()) {
         r.gen = true;
         r.gen_kind = EventKind::kTeardown;
         r.gen_time = t.clock.now();
@@ -574,6 +607,38 @@ void FleetEngine::window_step(ShardTask& task, const Event& e,
         r.gen_kind = EventKind::kTeardown;
         r.gen_time = t.clock.now();
       }
+      break;
+    }
+    case EventKind::kProgramStep: {
+      const SyscallProgram& prog = builtin_program(t.program);
+      const ProgramOp& op = prog.ops[static_cast<std::size_t>(t.prog_op)];
+      const OpClass cls = op_class(op.sc);
+      sh.cpu_demand -= t.prog_vcpus;
+      if (cls == OpClass::kNetwork) {
+        --sh.net_active;
+      }
+      t.in_flight = Tenant::InFlight::kNone;
+      // The per-class sample lands in the report at replay, in merged
+      // order, like boot and phase samples.
+      r.prog_class = static_cast<std::uint8_t>(cls);
+      r.prog_ops = op.repeat;
+      r.sample_ms = sim::to_millis(t.prog_service);
+      ++t.outcome.phases_run;
+      ++t.prog_op;
+      if (t.prog_op < static_cast<int>(prog.ops.size())) {
+        worker_start_program_op(task, r, t, s);
+        break;
+      }
+      t.prog_op = 0;
+      if (--t.prog_loops_left > 0) {
+        worker_start_program_op(task, r, t, s);
+        break;
+      }
+      t.platform->record_workload(platforms::WorkloadClass::kStartup, t.rng);
+      t.clock.advance(sim::millis(t.rng.uniform(2.0, 8.0)));
+      r.gen = true;
+      r.gen_kind = EventKind::kTeardown;
+      r.gen_time = t.clock.now();
       break;
     }
     case EventKind::kTeardown: {
@@ -646,6 +711,20 @@ void FleetEngine::replay_record(ShardTask& task, const WorkerRecord& r,
         }
         slot->boot_ms.add(r.sample_ms);
         report_.cluster_boot_ms.add(r.sample_ms);
+        if (t.program >= 0) {
+          // A tenant's kBootDone always replays before its program steps
+          // (same stream, earlier time/seq), so pstats is resolved in time.
+          ProgramFleetStats*& pslot =
+              pstats_by_id_[static_cast<std::size_t>(t.program)];
+          if (pslot == nullptr) {
+            pslot = &report_.by_program[builtin_program(t.program).name];
+            pslot->program = builtin_program(t.program).name;
+          }
+          t.pstats = pslot;
+          if (r.count_tenant) {
+            ++pslot->tenants;
+          }
+        }
         if (r.recovery_fault >= 0) {
           auto& rv =
               report_.recovery[static_cast<std::size_t>(r.recovery_fault)];
@@ -659,6 +738,12 @@ void FleetEngine::replay_record(ShardTask& task, const WorkerRecord& r,
       case EventKind::kPhaseDone:
         t.stats->phase_ms.add(r.sample_ms);
         break;
+      case EventKind::kProgramStep: {
+        auto& pcls = t.pstats->by_class[r.prog_class];
+        pcls.ops += r.prog_ops;
+        pcls.op_ms.add(r.sample_ms);
+        break;
+      }
       case EventKind::kTeardown:
         fleet_resident_ += r.delta.resident;
         fleet_ksm_advised_ += r.delta.advised;

@@ -29,6 +29,8 @@ enum class EventKind {
                    //   single-host runs boot inline at the arrival)
   kBootDone,       // boot sequence finished; workload phases begin
   kPhaseDone,      // one workload phase finished
+  kProgramStep,    // one syscall-program op finished (program-mix tenants);
+                   //   shard-local and window-parallel, like kPhaseDone
   kTeardown,       // tenant released its resources
   kHostEvent,      // timed operator hook: add or drain a host (tenant field
                    //   indexes Scenario::host_events)

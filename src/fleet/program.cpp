@@ -1,0 +1,170 @@
+#include "fleet/program.h"
+
+#include <stdexcept>
+
+namespace fleet {
+
+using hostk::Syscall;
+
+std::string op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kFile:
+      return "file";
+    case OpClass::kMemory:
+      return "memory";
+    case OpClass::kNetwork:
+      return "network";
+    case OpClass::kSync:
+      return "sync";
+    case OpClass::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+OpClass op_class(Syscall sc) {
+  switch (sc) {
+    case Syscall::kRead:
+    case Syscall::kWrite:
+    case Syscall::kPread64:
+    case Syscall::kPwrite64:
+    case Syscall::kReadv:
+    case Syscall::kWritev:
+    case Syscall::kOpenat:
+    case Syscall::kClose:
+    case Syscall::kFstat:
+    case Syscall::kStatx:
+    case Syscall::kLseek:
+    case Syscall::kFallocate:
+    case Syscall::kGetdents64:
+      return OpClass::kFile;
+    case Syscall::kMmap:
+    case Syscall::kMunmap:
+    case Syscall::kMprotect:
+    case Syscall::kMadvise:
+    case Syscall::kBrk:
+      return OpClass::kMemory;
+    case Syscall::kSocket:
+    case Syscall::kBind:
+    case Syscall::kListen:
+    case Syscall::kAccept4:
+    case Syscall::kConnect:
+    case Syscall::kSendto:
+    case Syscall::kRecvfrom:
+    case Syscall::kSendmsg:
+    case Syscall::kRecvmsg:
+    case Syscall::kSetsockopt:
+    case Syscall::kVsockSend:
+    case Syscall::kVsockRecv:
+    case Syscall::kEpollWait:
+    case Syscall::kEpollCtl:
+      return OpClass::kNetwork;
+    case Syscall::kFsync:
+      return OpClass::kSync;
+    default:
+      return OpClass::kOther;
+  }
+}
+
+bool op_is_write(Syscall sc) {
+  return sc == Syscall::kWrite || sc == Syscall::kPwrite64 ||
+         sc == Syscall::kWritev;
+}
+
+double op_vcpus(OpClass c) {
+  switch (c) {
+    case OpClass::kFile:
+    case OpClass::kSync:
+    case OpClass::kNetwork:
+      return 0.5;
+    case OpClass::kMemory:
+      return 1.0;
+    case OpClass::kOther:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+namespace {
+
+std::vector<SyscallProgram> make_builtins() {
+  std::vector<SyscallProgram> programs;
+
+  // kv-server: the serving loop of a small key-value store — wait for a
+  // request, read it off the socket, fetch the value from the tenant's
+  // store file (cache-hot after the first touch), answer, stamp metrics.
+  SyscallProgram kv;
+  kv.name = "kv-server";
+  kv.loops = 24;
+  kv.ops = {
+      {Syscall::kEpollWait, 0, 1, 0, false},
+      {Syscall::kRecvfrom, 2ull << 10, 1, 0, false},
+      {Syscall::kPread64, 16ull << 10, 1, 0, false},
+      {Syscall::kSendto, 8ull << 10, 1, 0, false},
+      {Syscall::kClockGettime, 0, 2, sim::micros(150), false},
+  };
+  programs.push_back(std::move(kv));
+
+  // image-pull-then-serve: pull a program-shared image (the first tenant
+  // pays NVMe, later ones hit the shared cache lines), map it, then serve
+  // a burst of requests out of it.
+  SyscallProgram pull;
+  pull.name = "image-pull-serve";
+  pull.loops = 6;
+  pull.ops = {
+      {Syscall::kOpenat, 0, 1, 0, true},
+      {Syscall::kRead, 8ull << 20, 1, 0, true},
+      {Syscall::kMmap, 4ull << 20, 1, 0, true},
+      {Syscall::kRecvfrom, 2ull << 10, 8, 0, false},
+      {Syscall::kSendto, 16ull << 10, 8, sim::micros(200), false},
+  };
+  programs.push_back(std::move(pull));
+
+  // log-writer: append-heavy durability churn — buffered writes are cheap
+  // (page-cache dirtying only), every fsync pays the NVMe flush for the
+  // megabyte just written.
+  SyscallProgram log;
+  log.name = "log-writer";
+  log.loops = 32;
+  log.ops = {
+      {Syscall::kWrite, 256ull << 10, 4, 0, false},
+      {Syscall::kFsync, 1ull << 20, 1, sim::micros(100), false},
+  };
+  programs.push_back(std::move(log));
+
+  // mmap-analytics: map a private working set, advise the scan pattern,
+  // block on the join, unmap — the address-space-heavy end of the mix.
+  SyscallProgram mm;
+  mm.name = "mmap-analytics";
+  mm.loops = 12;
+  mm.ops = {
+      {Syscall::kMmap, 16ull << 20, 1, 0, false},
+      {Syscall::kMadvise, 0, 2, 0, false},
+      {Syscall::kFutexWait, 0, 1, 0, false},
+      {Syscall::kMunmap, 16ull << 20, 1, sim::micros(250), false},
+  };
+  programs.push_back(std::move(mm));
+
+  return programs;
+}
+
+const std::vector<SyscallProgram>& builtins() {
+  static const std::vector<SyscallProgram> table = make_builtins();
+  return table;
+}
+
+}  // namespace
+
+int builtin_program_count() {
+  return static_cast<int>(builtins().size());
+}
+
+const SyscallProgram& builtin_program(int index) {
+  const auto& table = builtins();
+  if (index < 0 || index >= static_cast<int>(table.size())) {
+    throw std::out_of_range("builtin_program: unknown program index");
+  }
+  return table[static_cast<std::size_t>(index)];
+}
+
+}  // namespace fleet

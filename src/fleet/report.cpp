@@ -135,6 +135,49 @@ std::string FleetReport::to_text() const {
              (recovery_slo_pass() ? "PASS" : "FAIL") + "\n";
     }
   }
+  // Syscall-program section: rendered only for runs with a program mix, so
+  // all-statistical goldens stay byte-identical.
+  if (!by_program.empty()) {
+    int program_tenants = 0;
+    std::uint64_t program_ops = 0;
+    for (const auto& [name, prog] : by_program) {
+      (void)name;
+      program_tenants += prog.tenants;
+      for (const ProgramOpClassStats& cls : prog.by_class) {
+        program_ops += cls.ops;
+      }
+    }
+    out += "programs: " + std::to_string(by_program.size()) + " programs, " +
+           std::to_string(program_tenants) + " tenants, " +
+           std::to_string(program_ops) + " ops\n";
+    for (const auto& [name, prog] : by_program) {
+      out += "  " + name + " (" + std::to_string(prog.tenants) + " tenants)\n";
+      for (std::size_t c = 0; c < prog.by_class.size(); ++c) {
+        const ProgramOpClassStats& cls = prog.by_class[c];
+        if (cls.ops == 0) {
+          continue;
+        }
+        out += "    " + op_class_name(static_cast<OpClass>(c)) + ": " +
+               std::to_string(cls.ops) + " ops, p50 " +
+               fmt("%.3f", cls.op_ms.percentile(50)) + " ms, p99 " +
+               fmt("%.3f", cls.op_ms.percentile(99)) + " ms";
+        // Per-class SLO verdict, gated on a declared budget so budget-less
+        // program runs keep their bytes.
+        if (op_slo_ms > 0) {
+          out += cls.op_ms.percentile(99) <=
+                         static_cast<double>(op_slo_ms) / 1e6
+                     ? " [SLO PASS]"
+                     : " [SLO FAIL]";
+        }
+        out += "\n";
+      }
+    }
+    if (op_slo_ms > 0) {
+      out += "program SLO: per-op p99 within " +
+             fmt("%.2f", sim::to_millis(op_slo_ms)) + " ms -> " +
+             (program_slo_pass() ? "PASS" : "FAIL") + "\n";
+    }
+  }
   out += "\n";
 
   stats::Table table({"platform", "tenants", "boot p50 (ms)", "boot p90 (ms)",

@@ -7,12 +7,14 @@
 // scenario always produce a byte-identical to_text().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/figures.h"
+#include "fleet/program.h"
 #include "platforms/platform.h"
 #include "sim/time.h"
 #include "stats/sample_set.h"
@@ -50,6 +52,23 @@ struct PlatformFleetStats {
   int tenants = 0;
   stats::SampleSet boot_ms;
   stats::SampleSet phase_ms;
+};
+
+/// Per-op-class slice of one program's rollup: repeat-expanded syscall
+/// invocations and the per-step service-latency distribution (think-time
+/// gaps excluded, so the sample is the op itself).
+struct ProgramOpClassStats {
+  std::uint64_t ops = 0;
+  stats::SampleSet op_ms;
+};
+
+/// Per-program aggregate over all tenants that interpreted it. tenants
+/// counts distinct tenants (crash/churn re-runs never double-count), and
+/// the by_class slices are indexed by fleet::OpClass.
+struct ProgramFleetStats {
+  std::string program;
+  int tenants = 0;
+  std::array<ProgramOpClassStats, kOpClassCount> by_class;
 };
 
 /// KSM density outcome (hypervisor-backed tenants only).
@@ -119,6 +138,9 @@ class FleetReport {
   std::vector<TenantOutcome> tenants;
   /// Keyed by platform name; std::map keeps rendering order deterministic.
   std::map<std::string, PlatformFleetStats> by_platform;
+  /// Keyed by program name; empty for all-statistical runs, which keeps
+  /// their to_text() byte-identical to the pinned goldens.
+  std::map<std::string, ProgramFleetStats> by_program;
   /// One rollup per host shard, in host index order.
   std::vector<HostRollup> hosts;
 
@@ -261,6 +283,30 @@ class FleetReport {
     for (const RecoveryVerdict& v : recovery) {
       if (!v.slo_pass(replace_slo_ms)) {
         return false;
+      }
+    }
+    return true;
+  }
+
+  /// Per-op latency budget copied from TrafficSpec::op_slo_ms; zero means
+  /// no budget was set and no PASS/FAIL is rendered (keeping budget-less
+  /// program output byte-identical).
+  sim::Nanos op_slo_ms = 0;
+
+  /// Program op-latency SLO verdict: every rendered op class's p99 fits
+  /// the declared budget. True (vacuously) when no budget is set or no
+  /// program ran, so callers can gate on it unconditionally.
+  bool program_slo_pass() const {
+    if (op_slo_ms <= 0) {
+      return true;
+    }
+    const double budget_ms = static_cast<double>(op_slo_ms) / 1e6;
+    for (const auto& [name, prog] : by_program) {
+      (void)name;
+      for (const ProgramOpClassStats& cls : prog.by_class) {
+        if (!cls.op_ms.empty() && cls.op_ms.percentile(99.0) > budget_ms) {
+          return false;
+        }
       }
     }
     return true;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fleet/program.h"
+
 namespace fleet {
 
 std::string arrival_pattern_name(ArrivalPattern p) {
@@ -52,6 +54,20 @@ std::vector<TenantSeed> TrafficSpec::draw_population() const {
     }
     return workload_mix.back().workload;
   };
+  double program_total = 0.0;
+  for (const auto& share : program_mix) {
+    program_total += share.weight;
+  }
+  const auto pick_program = [&](sim::Rng& r) {
+    double x = r.next_double() * program_total;
+    for (const auto& share : program_mix) {
+      x -= share.weight;
+      if (x <= 0.0) {
+        return share.program;
+      }
+    }
+    return program_mix.back().program;
+  };
 
   std::vector<sim::Nanos> arrivals;
   arrivals.reserve(static_cast<std::size_t>(tenant_count));
@@ -87,6 +103,12 @@ std::vector<TenantSeed> TrafficSpec::draw_population() const {
     t.phases.reserve(static_cast<std::size_t>(phases_per_tenant));
     for (int p = 0; p < phases_per_tenant; ++p) {
       t.phases.push_back(pick_workload(t.rng));
+    }
+    // The program draw comes strictly after the phase draws and only when a
+    // mix is declared: all-statistical scenarios consume exactly the
+    // historical draw sequence, so their reports stay byte-identical.
+    if (!program_mix.empty()) {
+      t.program = pick_program(t.rng);
     }
   }
   return seeds;
@@ -262,6 +284,26 @@ Scenario Scenario::partition_storm(int tenants, int hosts) {
   part.rack = "r0";
   part.duration = sim::millis(40);
   s.faults.timed.push_back(part);
+  return s;
+}
+
+Scenario Scenario::program_storm(int tenants, int hosts) {
+  Scenario s = cluster_storm(tenants, hosts, PlacementKind::kLeastLoaded);
+  s.name = "program-storm";
+  s.arrival_window = sim::millis(100);
+  // Most tenants interpret a built-in program; a statistical control share
+  // rides along so program and phase traffic contend on the same hosts.
+  s.program_mix = {
+      {-1, 0.20},
+      {kProgKvServer, 0.30},
+      {kProgImagePull, 0.20},
+      {kProgLogWriter, 0.15},
+      {kProgMmapAnalytics, 0.15},
+  };
+  // Per-op p99 budget. The slowest built-in op — mmap-analytics faulting a
+  // cold 16 MiB mapping through the NVMe — lands around 5 ms p99, so the
+  // verdict passes with headroom but trips on an op-path cost regression.
+  s.op_slo_ms = sim::millis(12);
   return s;
 }
 

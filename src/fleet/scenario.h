@@ -119,6 +119,14 @@ struct WorkloadShare {
   double weight = 1.0;
 };
 
+/// One entry of the program mix; weights are normalized by the engine.
+/// `program` is a built-in syscall-program index (fleet/program.h), or -1
+/// to keep that share of the population on statistical phases.
+struct ProgramShare {
+  int program = -1;
+  double weight = 1.0;
+};
+
 /// One fully-drawn tenant: arrival instant, platform, private RNG stream
 /// (already forked and advanced past the phase draws), and workload phases.
 /// TrafficSpec::draw_population() materializes the whole population exactly
@@ -130,6 +138,11 @@ struct TenantSeed {
   platforms::PlatformId platform_id = platforms::PlatformId::kQemuKvm;
   sim::Rng rng{0};
   std::vector<platforms::WorkloadClass> phases;
+  /// Built-in syscall program this tenant interprets instead of its
+  /// statistical phases; -1 (the default, and the only value drawn when
+  /// program_mix is empty) keeps the tenant statistical. Routed through
+  /// federations verbatim like every other seed field.
+  int program = -1;
 };
 
 /// Global policy half of a scenario: the traffic (who arrives when, running
@@ -155,6 +168,14 @@ struct TrafficSpec {
   // --- Platform and workload mix ------------------------------------------
   std::vector<PlatformShare> platform_mix;
   std::vector<WorkloadShare> workload_mix;
+  /// Syscall-program mix (fleet/program.h). Empty (the default) keeps the
+  /// whole population on statistical phases — and skips the per-tenant
+  /// program draw entirely, so existing scenarios and goldens stay
+  /// byte-identical. Non-empty: each tenant draws one share from its
+  /// private RNG (after its phase draws); shares with program >= 0 run
+  /// that built-in program instead of phases, shares with program == -1
+  /// stay statistical.
+  std::vector<ProgramShare> program_mix;
 
   /// Workload phases each tenant runs between boot and teardown.
   int phases_per_tenant = 3;
@@ -185,6 +206,12 @@ struct TrafficSpec {
   /// runs do. Zero disables the verdict, keeping budget-less chaos output
   /// byte-identical.
   sim::Nanos replace_slo_ms = 0;
+  /// Per-op latency budget for syscall-program runs: when positive, every
+  /// program op class renders a p99 PASS/FAIL verdict against it. Zero
+  /// disables the verdict, keeping budget-less program output stable.
+  /// NOTE: typed sim::Nanos like every duration here — assign via
+  /// sim::millis(...), not a bare number.
+  sim::Nanos op_slo_ms = 0;
 
   // --- Churn (long-horizon runs) ------------------------------------------
   /// Times each tenant re-enters the fleet after teardown: its resources
@@ -292,6 +319,12 @@ struct Scenario : TrafficSpec, CellSpec {
   /// Network chaos: a mid-run partition stalls NIC phases (and image-pull
   /// boots) on half the fleet; completions stretch by the overlap.
   static Scenario partition_storm(int tenants, int hosts);
+
+  /// Syscall-program traffic: a cluster storm where most tenants interpret
+  /// built-in programs (kv-server, image-pull-serve, log-writer,
+  /// mmap-analytics) over the host kernel, with a statistical control
+  /// share riding along and a per-op latency SLO declared.
+  static Scenario program_storm(int tenants, int hosts);
 };
 
 }  // namespace fleet

@@ -48,6 +48,14 @@ events_per_sec floor; changed event counts or inter-cell spill totals
 are reported as behavior changes (the federation determinism tests pin
 the reports themselves).
 
+schema_version 8 adds a "programs" block (fleet_scale --programs): the
+program storm, where most tenants interpret a built-in syscall program
+over the HostKernel instead of drawing statistical phases. Gated
+config-matched at the committed (hosts, tenants) on wall-clock ratio
+and the events_per_sec floor; changed event counts, op totals, worst
+per-class op p99, or a flipped SLO verdict are reported as behavior
+changes (the program determinism tests pin the reports).
+
 Usage:
   check_perf_trajectory.py FRESH.json COMMITTED.json \
       [--tenants 1000] [--max-ratio 3.0]
@@ -296,6 +304,52 @@ def check_chaos(fresh_doc, committed_doc, max_ratio):
     return failed
 
 
+def check_programs(fresh_doc, committed_doc, max_ratio):
+    """Gate the syscall-program storm run; returns True on failure."""
+    base = committed_doc.get("programs")
+    fresh = fresh_doc.get("programs")
+    if base is None:
+        return False  # nothing committed to gate against
+    if fresh is None:
+        print("  programs run      MISSING from fresh results")
+        return True
+    config = (base.get("hosts"), base.get("tenants"))
+    fresh_config = (fresh.get("hosts"), fresh.get("tenants"))
+    if fresh_config != config:
+        print(f"  programs run      config mismatch: committed "
+              f"{config}, fresh {fresh_config} -- skipped, not gated")
+        return False
+    base_run = base.get("run", {})
+    fresh_run = fresh.get("run", {})
+    if fresh_run.get("wall_ms", 0.0) <= 0.0:
+        print("  programs run      fresh results carry no wall_ms")
+        return True
+    if base_run.get("wall_ms", 0.0) <= 0.0:
+        print("  programs run      committed results carry no wall_ms")
+        return True
+    ratio = fresh_run["wall_ms"] / base_run["wall_ms"]
+    verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+    print(f"program storm at {config[1]} tenants across {config[0]} hosts:")
+    print(f"  wall              committed {base_run.get('wall_ms', 0.0):8.1f} ms   "
+          f"fresh {fresh_run.get('wall_ms', 0.0):8.1f} ms   ratio {ratio:4.2f}x   "
+          f"{verdict}")
+    failed = ratio > max_ratio
+    if throughput_floor_failed("programs", base_run, fresh_run, max_ratio):
+        failed = True
+    if fresh_run.get("events") != base_run.get("events"):
+        print(f"  note: events changed {base_run.get('events')} -> "
+              f"{fresh_run.get('events')} (program behavior change — the "
+              f"program determinism tests pin the report, not this gate)")
+    base_ops = base.get("ops", {})
+    fresh_ops = fresh.get("ops", {})
+    for key in ("program_tenants", "total_ops", "op_p99_worst_ms",
+                "slo_pass"):
+        if fresh_ops.get(key) != base_ops.get(key):
+            print(f"  note: {key} changed {base_ops.get(key)} -> "
+                  f"{fresh_ops.get(key)} (program behavior change)")
+    return failed
+
+
 def check_federation(fresh_doc, committed_doc, max_ratio):
     """Gate every committed federation sweep shape; returns True on
     failure."""
@@ -396,6 +450,8 @@ def main():
     if check_autoscale(fresh_doc, committed_doc, args.max_ratio):
         failed = True
     if check_chaos(fresh_doc, committed_doc, args.max_ratio):
+        failed = True
+    if check_programs(fresh_doc, committed_doc, args.max_ratio):
         failed = True
     if check_federation(fresh_doc, committed_doc, args.max_ratio):
         failed = True
