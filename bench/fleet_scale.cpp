@@ -45,10 +45,19 @@
 // land in the JSON as a "programs" block, so the perf gate tracks the
 // program interpreter's cost next to the statistical phase path.
 //
+// With --degraded the degrade storm (disk degrade + KSM unmerge pressure +
+// partial partition + mid-pressure crash over interpreted programs, with
+// per-op retry/backoff on) is run twice — byte-identical or bust — plus a
+// no-retry control over the same fault schedule. The retry differential
+// (give-ups and permanently lost tenants, both arms) lands in the JSON as
+// a "degraded" block, so the perf gate tracks graceful degradation next
+// to clean-path throughput. Always the committed 180x3 storm shape: the
+// fault windows are tuned against its boot/program phase boundary.
+//
 // Usage: fleet_scale [--tenants N[,N...]] [--hosts M]
 //                    [--clusters NxM[,NxM...]] [--threads N[,N...]]
 //                    [--cells KxMxN[,KxMxN...]]
-//                    [--autoscale] [--chaos] [--programs]
+//                    [--autoscale] [--chaos] [--programs] [--degraded]
 //                    [--out PATH] [--no-json]
 #include <algorithm>
 #include <chrono>
@@ -430,6 +439,72 @@ bool run_programs(int tenants, int hosts, ProgramsResult* out) {
   return true;
 }
 
+/// The degrade storm plus its no-retry control: same fault schedule, the
+/// only difference is per-op retry/backoff. The differential is the
+/// committed graceful-degradation claim — the retry arm must give up on
+/// fewer ops and permanently lose fewer crash victims.
+struct DegradedResult {
+  int tenants = 0;
+  int hosts = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double makespan_ms = 0.0;
+  int faults = 0;        // DegradeVerdicts (disk, mem-pressure, partition)
+  int affected = 0;      // tenants disturbed, summed over degrade faults
+  int op_retries = 0;
+  int op_give_ups = 0;
+  int crash_lost = 0;
+  double added_p99_worst_ms = 0.0;  // worst per-fault added-latency p99
+  int control_give_ups = 0;   // no-retry arm
+  int control_crash_lost = 0;
+};
+
+/// Degrade storm run twice (byte-identical or bust) plus the no-retry
+/// control once. Returns false on a determinism violation.
+bool run_degraded(int tenants, int hosts, DegradedResult* out) {
+  const auto scenario = fleet::Scenario::degrade_storm(tenants, hosts);
+  double wall_a = 0.0;
+  double wall_b = 0.0;
+  const auto a = run_cluster_once(scenario, &wall_a);
+  const auto b = run_cluster_once(scenario, &wall_b);
+  if (a.to_text() != b.to_text() || a.events_processed != b.events_processed) {
+    std::fprintf(stderr,
+                 "fleet_scale: DETERMINISM VIOLATION — degrade storm "
+                 "produced different reports across two fresh runs\n");
+    return false;
+  }
+  auto control = scenario;
+  control.op_max_retries = 0;
+  control.op_backoff_base_ms = 0;
+  double wall_c = 0.0;
+  const auto c = run_cluster_once(control, &wall_c);
+
+  out->tenants = tenants;
+  out->hosts = hosts;
+  out->wall_ms = std::min(wall_a, wall_b);
+  out->events = a.events_processed;
+  out->events_per_sec =
+      out->wall_ms > 0.0
+          ? static_cast<double>(out->events) / (out->wall_ms / 1e3)
+          : 0.0;
+  out->makespan_ms = sim::to_millis(a.makespan);
+  out->faults = static_cast<int>(a.degraded.size());
+  for (const auto& v : a.degraded) {
+    out->affected += v.affected;
+    if (!v.added_ms.empty()) {
+      out->added_p99_worst_ms =
+          std::max(out->added_p99_worst_ms, v.added_ms.percentile(99));
+    }
+  }
+  out->op_retries = a.op_retries;
+  out->op_give_ups = a.op_give_ups;
+  out->crash_lost = a.crash_lost;
+  out->control_give_ups = c.op_give_ups;
+  out->control_crash_lost = c.crash_lost;
+  return true;
+}
+
 /// One routing policy's run of the federation storm at one shape.
 struct FederationRunResult {
   std::string routing;
@@ -728,6 +803,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                 const RetryDifferentialResult* retry,
                 const AutoscaleResult* autoscale, const ChaosResult* chaos,
                 const ProgramsResult* programs,
+                const DegradedResult* degraded,
                 const std::vector<FederationBlock>& federations) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -736,7 +812,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
-  std::fprintf(f, "  \"schema_version\": 8,\n");
+  std::fprintf(f, "  \"schema_version\": 9,\n");
   std::fprintf(f, "  \"unit\": {\"wall_ms\": \"milliseconds\", "
                   "\"events_per_sec\": \"simulator events per second\"},\n");
   std::fprintf(f, "  \"runs\": [\n");
@@ -811,7 +887,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
   }
   const bool more = !clusters.empty() || parallel != nullptr ||
                     autoscale != nullptr || retry != nullptr ||
-                    chaos != nullptr || programs != nullptr ||
+                    chaos != nullptr || programs != nullptr || degraded != nullptr ||
                     !federations.empty();
   std::fprintf(f, "}%s\n", more ? "," : "");
   if (!clusters.empty()) {
@@ -850,7 +926,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     std::fprintf(f, "  ]%s\n",
                  parallel != nullptr || retry != nullptr ||
                          autoscale != nullptr || chaos != nullptr ||
-                         programs != nullptr || !federations.empty()
+                         programs != nullptr || degraded != nullptr || !federations.empty()
                      ? ","
                      : "");
   }
@@ -876,7 +952,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
     }
     std::fprintf(f, "    ]\n  }%s\n",
                  retry != nullptr || autoscale != nullptr ||
-                         chaos != nullptr || programs != nullptr ||
+                         chaos != nullptr || programs != nullptr || degraded != nullptr ||
                          !federations.empty()
                      ? ","
                      : "");
@@ -899,7 +975,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  retry->spills, retry->wall_ms);
     std::fprintf(f, "  }%s\n",
                  autoscale != nullptr || chaos != nullptr ||
-                         programs != nullptr || !federations.empty()
+                         programs != nullptr || degraded != nullptr || !federations.empty()
                      ? ","
                      : "");
   }
@@ -928,7 +1004,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                     "\"tenants_admitted\": %d}\n",
                  r.fixed_admitted, r.fixed_tenants_admitted);
     std::fprintf(f, "  }%s\n",
-                 chaos != nullptr || programs != nullptr ||
+                 chaos != nullptr || programs != nullptr || degraded != nullptr ||
                          !federations.empty()
                      ? ","
                      : "");
@@ -955,7 +1031,7 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  r.victims, r.readmitted, r.lost, r.readmission_fraction,
                  r.replace_p50_ms, r.replace_p99_ms, r.scale_outs);
     std::fprintf(f, "  }%s\n",
-                 programs != nullptr || !federations.empty() ? "," : "");
+                 programs != nullptr || degraded != nullptr || !federations.empty() ? "," : "");
   }
   if (programs != nullptr) {
     const ProgramsResult& r = *programs;
@@ -977,6 +1053,34 @@ void write_json(const std::string& path, const std::vector<ScaleResult>& runs,
                  r.program_tenants,
                  static_cast<unsigned long long>(r.total_ops), r.ops_per_sec,
                  r.op_p99_worst_ms, r.slo_pass ? "true" : "false");
+    std::fprintf(f, "  }%s\n",
+                 degraded != nullptr || !federations.empty() ? "," : "");
+  }
+  if (degraded != nullptr) {
+    const DegradedResult& r = *degraded;
+    std::fprintf(f, "  \"degraded\": {\n");
+    std::fprintf(f, "    \"scenario\": \"degrade-storm\",\n");
+    std::fprintf(f, "    \"hosts\": %d,\n", r.hosts);
+    std::fprintf(f, "    \"tenants\": %d,\n", r.tenants);
+    std::fprintf(f, "    \"determinism\": \"degrade storm run twice against "
+                    "fresh clusters, reports byte-identical\",\n");
+    std::fprintf(f,
+                 "    \"run\": {\"wall_ms\": %.1f, \"events\": %llu, "
+                 "\"events_per_sec\": %.0f, \"makespan_ms\": %.2f},\n",
+                 r.wall_ms, static_cast<unsigned long long>(r.events),
+                 r.events_per_sec, r.makespan_ms);
+    std::fprintf(f,
+                 "    \"faults\": {\"degrade_faults\": %d, \"affected\": %d, "
+                 "\"added_p99_worst_ms\": %.3f},\n",
+                 r.faults, r.affected, r.added_p99_worst_ms);
+    std::fprintf(f,
+                 "    \"retry\": {\"op_retries\": %d, \"op_give_ups\": %d, "
+                 "\"crash_lost\": %d},\n",
+                 r.op_retries, r.op_give_ups, r.crash_lost);
+    std::fprintf(f,
+                 "    \"no_retry_control\": {\"op_give_ups\": %d, "
+                 "\"crash_lost\": %d}\n",
+                 r.control_give_ups, r.control_crash_lost);
     std::fprintf(f, "  }%s\n", federations.empty() ? "" : ",");
   }
   if (!federations.empty()) {
@@ -1025,6 +1129,7 @@ int main(int argc, char** argv) {
   bool autoscale = false;
   bool chaos = false;
   bool programs = false;
+  bool degraded = false;
   int hosts = 1;
   std::vector<ClusterBlock> extra_clusters;
   std::vector<FederationBlock> federations;
@@ -1069,6 +1174,8 @@ int main(int argc, char** argv) {
       chaos = true;
     } else if (std::strcmp(argv[i], "--programs") == 0) {
       programs = true;
+    } else if (std::strcmp(argv[i], "--degraded") == 0) {
+      degraded = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
@@ -1078,7 +1185,7 @@ int main(int argc, char** argv) {
                    "usage: fleet_scale [--tenants N[,N...]] [--hosts M] "
                    "[--clusters NxM[,NxM...]] [--threads N[,N...]] "
                    "[--cells KxMxN[,KxMxN...]] "
-                   "[--autoscale] [--chaos] [--programs] "
+                   "[--autoscale] [--chaos] [--programs] [--degraded] "
                    "[--out PATH] [--no-json]\n");
       return 2;
     }
@@ -1278,6 +1385,24 @@ int main(int argc, char** argv) {
                 programs_result.wall_ms);
   }
 
+  DegradedResult degraded_result;
+  if (degraded) {
+    std::printf("\ndegrade-storm: 180 tenants x 3 hosts (committed shape), "
+                "disk degrade + mem pressure + partial partition + crash, "
+                "run twice + no-retry control\n\n");
+    if (!run_degraded(180, 3, &degraded_result)) {
+      return 1;
+    }
+    std::printf("degrade faults %d (%d tenants affected, worst added p99 "
+                "%.2f ms); retry arm: %d retries, %d give-ups, %d lost; "
+                "no-retry control: %d give-ups, %d lost; wall %.1f ms\n",
+                degraded_result.faults, degraded_result.affected,
+                degraded_result.added_p99_worst_ms,
+                degraded_result.op_retries, degraded_result.op_give_ups,
+                degraded_result.crash_lost, degraded_result.control_give_ups,
+                degraded_result.control_crash_lost, degraded_result.wall_ms);
+  }
+
   for (FederationBlock& block : federations) {
     std::printf("\nfederation-storm: %d tenants routed across %d cells x %d "
                 "hosts, every routing policy run twice\n\n",
@@ -1307,7 +1432,8 @@ int main(int argc, char** argv) {
                hosts > 1 ? &retry_result : nullptr,
                autoscale ? &autoscale_result : nullptr,
                chaos ? &chaos_result : nullptr,
-               programs ? &programs_result : nullptr, federations);
+               programs ? &programs_result : nullptr,
+               degraded ? &degraded_result : nullptr, federations);
   }
   return 0;
 }

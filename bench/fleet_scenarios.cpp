@@ -178,5 +178,32 @@ int main(int argc, char** argv) {
               programs.name.c_str(), programs.tenant_count);
   print_report(program_report);
 
+  // --- 8. Degrade storm ------------------------------------------------------
+  // The degrade-family faults over interpreted programs: a disk running at
+  // 1/6 throughput, a KSM unmerge storm spiking resident memory, a partial
+  // partition cutting one host pair, and a mid-pressure crash — with per-op
+  // retry/backoff on, so ops that would blow their SLO time out and
+  // re-issue instead of completing late. The report grows a degraded:
+  // section with per-fault verdicts, and the no-retry control shows what
+  // the same schedule costs without graceful degradation.
+  auto degraded = fleet::Scenario::degrade_storm(180, 3);
+  degraded.threads = threads;
+  fleet::Cluster degraded_cluster(degraded.cluster);
+  const auto degraded_report = degraded_cluster.run(degraded);
+  auto no_retry = degraded;
+  no_retry.op_max_retries = 0;
+  no_retry.op_backoff_base_ms = 0;
+  fleet::Cluster no_retry_cluster(no_retry.cluster);
+  const auto no_retry_report = no_retry_cluster.run(no_retry);
+  std::printf("--- %s: %d tenants, degrade faults + per-op retry/backoff ---\n",
+              degraded.name.c_str(), degraded.tenant_count);
+  std::printf("with retries   : %d retries, %d give-ups, %d lost to crash\n",
+              degraded_report.op_retries, degraded_report.op_give_ups,
+              degraded_report.crash_lost);
+  std::printf("no-retry control: %d retries, %d give-ups, %d lost to crash\n\n",
+              no_retry_report.op_retries, no_retry_report.op_give_ups,
+              no_retry_report.crash_lost);
+  print_report(degraded_report);
+
   return 0;
 }

@@ -40,7 +40,9 @@ std::vector<ResolvedFault> resolve_faults(const Scenario& s,
     return out;
   }
   validate_racks(s.cluster, initial_hosts);
-  if (spec.random_crashes < 0 || spec.random_partitions < 0) {
+  if (spec.random_crashes < 0 || spec.random_partitions < 0 ||
+      spec.random_disk_degrades < 0 || spec.random_mem_pressures < 0 ||
+      spec.random_partial_partitions < 0 || spec.random_mixed < 0) {
     throw std::invalid_argument(
         "FaultSpec: random fault counts must be non-negative");
   }
@@ -58,12 +60,31 @@ std::vector<ResolvedFault> resolve_faults(const Scenario& s,
     r.time = f.time;
     r.restart_delay = f.restart_delay;
     r.restart_jitter = f.restart_jitter;
-    if (f.kind == Fault::Kind::kPartition) {
+    if (f.kind == Fault::Kind::kPartition || is_degrade_kind(f.kind)) {
       if (f.duration <= 0) {
         throw std::invalid_argument(
-            "FaultSpec: partition duration must be positive");
+            f.kind == Fault::Kind::kPartition
+                ? "FaultSpec: partition duration must be positive"
+                : "FaultSpec: degrade-family fault duration must be positive");
       }
       r.duration = f.duration;
+    }
+    if (f.kind == Fault::Kind::kDiskDegrade) {
+      if (!(f.degrade >= 1.0)) {
+        throw std::invalid_argument(
+            "FaultSpec: disk degrade multiplier must be >= 1 (got " +
+            std::to_string(f.degrade) + ")");
+      }
+      r.degrade = f.degrade;
+    }
+    if (f.kind == Fault::Kind::kPartialPartition) {
+      if (f.peer < 0 || f.peer >= initial_hosts) {
+        throw std::invalid_argument(
+            "FaultSpec: partial partition peer " + std::to_string(f.peer) +
+            " outside the initial topology of " +
+            std::to_string(initial_hosts) + " hosts");
+      }
+      r.peer = f.peer;
     }
     if (f.kind == Fault::Kind::kCellOutage) {
       // The whole failure domain goes dark at once: every host of the
@@ -99,19 +120,60 @@ std::vector<ResolvedFault> resolve_faults(const Scenario& s,
       }
       r.hosts = {f.host};
     }
+    if (f.kind == Fault::Kind::kPartialPartition) {
+      for (const int h : r.hosts) {
+        if (h == r.peer) {
+          throw std::invalid_argument(
+              "FaultSpec: partial partition pairs host " + std::to_string(h) +
+              " with itself");
+        }
+      }
+    }
     out.push_back(std::move(r));
   };
 
   for (const Fault& f : spec.timed) {
     resolve_one(f);
   }
-  if (spec.random_crashes > 0 || spec.random_partitions > 0) {
+  const bool any_random =
+      spec.random_crashes > 0 || spec.random_partitions > 0 ||
+      spec.random_disk_degrades > 0 || spec.random_mem_pressures > 0 ||
+      spec.random_partial_partitions > 0 || spec.random_mixed > 0;
+  if (any_random) {
     if (spec.random_horizon <= 0) {
       throw std::invalid_argument(
           "FaultSpec: random faults need a positive random_horizon");
     }
+    const double weights[] = {
+        spec.weight_crash, spec.weight_partition, spec.weight_disk_degrade,
+        spec.weight_mem_pressure, spec.weight_partial_partition};
+    const Fault::Kind weighted_kinds[] = {
+        Fault::Kind::kCrash, Fault::Kind::kPartition,
+        Fault::Kind::kDiskDegrade, Fault::Kind::kMemPressure,
+        Fault::Kind::kPartialPartition};
+    double weight_total = 0.0;
+    for (const double w : weights) {
+      if (w < 0.0) {
+        throw std::invalid_argument(
+            "FaultSpec: random fault kind weights must be non-negative");
+      }
+      weight_total += w;
+    }
+    if (spec.random_mixed > 0 && weight_total <= 0.0) {
+      throw std::invalid_argument(
+          "FaultSpec: random_mixed needs at least one positive kind weight");
+    }
+    if ((spec.random_partial_partitions > 0 ||
+         (spec.random_mixed > 0 && spec.weight_partial_partition > 0.0)) &&
+        initial_hosts < 2) {
+      throw std::invalid_argument(
+          "FaultSpec: random partial partitions need at least 2 hosts");
+    }
     // One stream for the whole random schedule, derived from the scenario
-    // seed: same seed, same chaos.
+    // seed: same seed, same chaos. The per-kind loops draw in a fixed kind
+    // order (crash, partition, disk degrade, mem pressure, partial
+    // partition, then the weighted pool), so a schedule that only enables
+    // crashes and partitions replays the historical stream byte for byte.
     sim::Rng rng(s.seed ^ 0xFA01'7C4A'0500'0001ull);
     const auto draw = [&](Fault::Kind kind) {
       Fault f;
@@ -121,7 +183,18 @@ std::vector<ResolvedFault> resolve_faults(const Scenario& s,
       f.host = std::min(initial_hosts - 1,
                         static_cast<int>(rng.next_double() *
                                          static_cast<double>(initial_hosts)));
-      f.duration = spec.random_partition_duration;
+      if (kind == Fault::Kind::kPartialPartition) {
+        // Draw the far end among the other hosts: an extra draw only this
+        // kind consumes, so other kinds' streams are unaffected.
+        const int other = std::min(
+            initial_hosts - 2,
+            static_cast<int>(rng.next_double() *
+                             static_cast<double>(initial_hosts - 1)));
+        f.peer = other >= f.host ? other + 1 : other;
+      }
+      f.duration = is_degrade_kind(kind) ? spec.random_degrade_duration
+                                         : spec.random_partition_duration;
+      f.degrade = spec.random_degrade_multiplier;
       f.restart_delay = spec.random_restart_delay;
       f.restart_jitter = spec.random_restart_jitter;
       resolve_one(f);
@@ -131,6 +204,28 @@ std::vector<ResolvedFault> resolve_faults(const Scenario& s,
     }
     for (int i = 0; i < spec.random_partitions; ++i) {
       draw(Fault::Kind::kPartition);
+    }
+    for (int i = 0; i < spec.random_disk_degrades; ++i) {
+      draw(Fault::Kind::kDiskDegrade);
+    }
+    for (int i = 0; i < spec.random_mem_pressures; ++i) {
+      draw(Fault::Kind::kMemPressure);
+    }
+    for (int i = 0; i < spec.random_partial_partitions; ++i) {
+      draw(Fault::Kind::kPartialPartition);
+    }
+    for (int i = 0; i < spec.random_mixed; ++i) {
+      // Kind first, then the regular shape draws for that kind.
+      double pick = rng.next_double() * weight_total;
+      Fault::Kind kind = Fault::Kind::kCrash;
+      for (std::size_t k = 0; k < 5; ++k) {
+        kind = weighted_kinds[k];
+        if (pick < weights[k]) {
+          break;
+        }
+        pick -= weights[k];
+      }
+      draw(kind);
     }
   }
 
@@ -231,6 +326,162 @@ sim::Nanos stalled_completion(const std::vector<PartitionWindow>& windows,
     }
     left -= gap;
     at = w.end;  // frozen for the rest of the window
+  }
+  return at + left;
+}
+
+std::vector<std::vector<DegradeWindow>> build_degrade_windows(
+    const std::vector<ResolvedFault>& faults, int initial_hosts) {
+  std::vector<std::vector<DegradeWindow>> windows;
+  bool any = false;
+  for (const ResolvedFault& f : faults) {
+    any = any || f.kind == Fault::Kind::kDiskDegrade;
+  }
+  if (!any) {
+    return windows;  // empty: fault-free disk paths stay zero-cost
+  }
+  windows.resize(static_cast<std::size_t>(initial_hosts));
+  for (const ResolvedFault& f : faults) {
+    if (f.kind != Fault::Kind::kDiskDegrade) {
+      continue;
+    }
+    for (const int h : f.hosts) {
+      windows[static_cast<std::size_t>(h)].push_back(
+          DegradeWindow{f.time, f.time + f.duration, f.degrade, f.id});
+    }
+  }
+  for (auto& w : windows) {
+    if (w.size() <= 1) {
+      continue;
+    }
+    // Split overlapping windows into disjoint pieces: boundary sweep, the
+    // worst multiplier wins inside each piece, earliest fault id keeps the
+    // attribution so verdicts stay stable under reordering.
+    std::vector<sim::Nanos> cuts;
+    for (const DegradeWindow& d : w) {
+      cuts.push_back(d.start);
+      cuts.push_back(d.end);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    std::vector<DegradeWindow> flat;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      DegradeWindow piece{cuts[i], cuts[i + 1], 1.0, -1};
+      for (const DegradeWindow& d : w) {
+        if (d.start <= piece.start && d.end >= piece.end &&
+            (piece.fault < 0 || d.multiplier > piece.multiplier)) {
+          piece.multiplier = d.multiplier;
+          piece.fault = d.fault;
+        }
+      }
+      if (piece.fault < 0) {
+        continue;  // gap between windows
+      }
+      if (!flat.empty() && flat.back().end == piece.start &&
+          flat.back().multiplier == piece.multiplier &&
+          flat.back().fault == piece.fault) {
+        flat.back().end = piece.end;
+      } else {
+        flat.push_back(piece);
+      }
+    }
+    w = std::move(flat);
+  }
+  return windows;
+}
+
+sim::Nanos degraded_completion(const std::vector<DegradeWindow>& windows,
+                               sim::Nanos start, sim::Nanos work,
+                               int* fault) {
+  if (fault != nullptr) {
+    *fault = -1;
+  }
+  sim::Nanos at = start;
+  sim::Nanos left = work;
+  for (const DegradeWindow& w : windows) {
+    if (left <= 0) {
+      break;
+    }
+    if (w.end <= at) {
+      continue;  // already past this window
+    }
+    const sim::Nanos gap = w.start > at ? w.start - at : 0;
+    if (gap >= left) {
+      break;  // finishes before the next degraded stretch begins
+    }
+    left -= gap;
+    at += gap;
+    // Inside the window disk work progresses at 1/multiplier: the span
+    // until w.end completes span/multiplier worth of work.
+    const sim::Nanos span = w.end - at;
+    const sim::Nanos can = static_cast<sim::Nanos>(
+        static_cast<double>(span) / w.multiplier);
+    if (fault != nullptr && *fault < 0 && w.multiplier > 1.0) {
+      *fault = w.fault;
+    }
+    if (left <= can) {
+      return at + static_cast<sim::Nanos>(static_cast<double>(left) *
+                                          w.multiplier);
+    }
+    left -= can;
+    at = w.end;
+  }
+  return at + left;
+}
+
+std::vector<std::vector<PairWindow>> build_pair_windows(
+    const std::vector<ResolvedFault>& faults, int initial_hosts) {
+  std::vector<std::vector<PairWindow>> windows;
+  bool any = false;
+  for (const ResolvedFault& f : faults) {
+    any = any || f.kind == Fault::Kind::kPartialPartition;
+  }
+  if (!any) {
+    return windows;  // empty: fault-free peer paths stay zero-cost
+  }
+  windows.resize(static_cast<std::size_t>(initial_hosts));
+  for (const ResolvedFault& f : faults) {
+    if (f.kind != Fault::Kind::kPartialPartition) {
+      continue;
+    }
+    // Both directions: the cut is symmetric, so an op on either side
+    // stalls when its drawn far end is across the cut.
+    for (const int h : f.hosts) {
+      windows[static_cast<std::size_t>(h)].push_back(
+          PairWindow{f.time, f.time + f.duration, f.peer, f.id});
+      windows[static_cast<std::size_t>(f.peer)].push_back(
+          PairWindow{f.time, f.time + f.duration, h, f.id});
+    }
+  }
+  for (auto& w : windows) {
+    std::sort(w.begin(), w.end(), [](const PairWindow& a, const PairWindow& b) {
+      return a.start != b.start ? a.start < b.start : a.peer < b.peer;
+    });
+  }
+  return windows;
+}
+
+sim::Nanos pair_stalled_completion(const std::vector<PairWindow>& windows,
+                                   int peer, sim::Nanos start,
+                                   sim::Nanos work, int* fault) {
+  if (fault != nullptr) {
+    *fault = -1;
+  }
+  sim::Nanos at = start;
+  sim::Nanos left = work;
+  for (const PairWindow& w : windows) {
+    if (w.peer != peer || w.end <= at) {
+      continue;  // a different pair, or already past this window
+    }
+    const sim::Nanos gap = w.start > at ? w.start - at : 0;
+    if (gap >= left) {
+      break;  // finishes before the cut opens (windows sorted by start)
+    }
+    if (fault != nullptr && *fault < 0) {
+      *fault = w.fault;
+    }
+    left -= gap;
+    at = w.end;  // frozen while the pair is cut
   }
   return at + left;
 }

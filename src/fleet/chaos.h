@@ -27,6 +27,23 @@
 //    victim is lost (there are no survivors to re-place onto); under a
 //    Federation (federation.h) the stranded victims re-route through the
 //    global router to another cell.
+//
+// Degraded-mode faults (the middle ground between alive and dead):
+//  * Disk degrade: the host's NVMe runs at 1/multiplier throughput for a
+//    window — page-cache-missing boots and disk-touching program ops
+//    stretch by exactly the overlap at the degraded rate, instead of the
+//    host failing outright.
+//  * Memory pressure: a KSM unmerge storm — every merged page re-expands
+//    to its backing copy at the fault instant (resident jumps by the full
+//    density gain), and the stable tree is only re-merged by a scan at the
+//    window end (or early, by the hypervisor's admission-time scan pass).
+//    The spike can trip admission pressure and the autoscale watermark.
+//  * Partial partition: a host *pair* loses reachability instead of a
+//    host-wide NIC freeze — network program ops stall only when the
+//    op's drawn peer is on the unreachable side, so retry with a fresh
+//    peer draw can route around the cut.
+// Degrade-family faults are judged in the report's render-gated
+// `degraded:` section (DegradeVerdict), not the crash-recovery section.
 #pragma once
 
 #include <string>
@@ -40,7 +57,14 @@ struct Scenario;
 
 /// One injected fault, as the scenario author writes it.
 struct Fault {
-  enum class Kind { kCrash, kPartition, kCellOutage };
+  enum class Kind {
+    kCrash,
+    kPartition,
+    kCellOutage,
+    kDiskDegrade,
+    kMemPressure,
+    kPartialPartition,
+  };
   Kind kind = Kind::kCrash;
   /// Injection instant (virtual time).
   sim::Nanos time = 0;
@@ -50,8 +74,15 @@ struct Fault {
   int host = 0;
   /// Named rack (ClusterTopology::racks) for correlated faults.
   std::string rack;
-  /// Partition length (kPartition only).
+  /// Window length (kPartition and all degrade-family kinds).
   sim::Nanos duration = sim::millis(50);
+  /// NVMe throughput divisor while a kDiskDegrade window is open: disk
+  /// work progresses at 1/degrade speed. Must be >= 1.
+  double degrade = 4.0;
+  /// The other end of a kPartialPartition: the pair {host, peer} (or
+  /// {rack members, peer}) loses reachability for the window. Must name a
+  /// host distinct from the target.
+  int peer = -1;
   /// Crash victims re-arrive this long after the crash instant...
   sim::Nanos restart_delay = sim::millis(20);
   /// ...plus a per-victim uniform draw in [0, restart_jitter), so the
@@ -70,18 +101,42 @@ struct FaultSpec {
   std::vector<Fault> timed;
   int random_crashes = 0;
   int random_partitions = 0;
+  int random_disk_degrades = 0;
+  int random_mem_pressures = 0;
+  int random_partial_partitions = 0;
+  /// Additional random faults whose *kind* is drawn too, from the per-kind
+  /// weights below (any weight left at 0 removes that kind from the pool).
+  /// Validated up front: random_mixed > 0 needs at least one positive
+  /// weight, and weights must be non-negative.
+  int random_mixed = 0;
+  double weight_crash = 0.0;
+  double weight_partition = 0.0;
+  double weight_disk_degrade = 0.0;
+  double weight_mem_pressure = 0.0;
+  double weight_partial_partition = 0.0;
   sim::Nanos random_horizon = 0;
   /// Shape of the random faults.
   sim::Nanos random_partition_duration = sim::millis(50);
   sim::Nanos random_restart_delay = sim::millis(20);
   sim::Nanos random_restart_jitter = sim::millis(20);
+  sim::Nanos random_degrade_duration = sim::millis(50);
+  double random_degrade_multiplier = 4.0;
 
   bool enabled() const {
     // != 0, not > 0: a negative count must reach resolve_faults so it is
     // rejected up front rather than silently disabling chaos.
-    return !timed.empty() || random_crashes != 0 || random_partitions != 0;
+    return !timed.empty() || random_crashes != 0 || random_partitions != 0 ||
+           random_disk_degrades != 0 || random_mem_pressures != 0 ||
+           random_partial_partitions != 0 || random_mixed != 0;
   }
 };
+
+/// True for the fault kinds judged by DegradeVerdicts (the `degraded:`
+/// report section) instead of crash-recovery verdicts.
+inline bool is_degrade_kind(Fault::Kind k) {
+  return k == Fault::Kind::kDiskDegrade || k == Fault::Kind::kMemPressure ||
+         k == Fault::Kind::kPartialPartition;
+}
 
 /// One fault resolved against a concrete topology: rack names expanded to
 /// host lists, random faults drawn, the whole schedule sorted by time with
@@ -97,6 +152,8 @@ struct ResolvedFault {
   sim::Nanos duration = 0;
   sim::Nanos restart_delay = 0;
   sim::Nanos restart_jitter = 0;
+  double degrade = 0.0;  // kDiskDegrade multiplier
+  int peer = -1;         // kPartialPartition far end
 };
 
 /// Expand and validate the scenario's fault schedule against the initial
@@ -131,5 +188,58 @@ std::vector<std::vector<PartitionWindow>> build_partition_windows(
 /// non-overlapping (build_partition_windows guarantees both).
 sim::Nanos stalled_completion(const std::vector<PartitionWindow>& windows,
                               sim::Nanos start, sim::Nanos work);
+
+/// Half-open window [start, end) during which a host's NVMe runs at
+/// 1/multiplier throughput. `fault` is the ResolvedFault id that opened
+/// the window, for DegradeVerdict attribution.
+struct DegradeWindow {
+  sim::Nanos start = 0;
+  sim::Nanos end = 0;
+  double multiplier = 1.0;
+  int fault = -1;
+};
+
+/// Per-host disk-degrade windows (indexed by initial-topology host index),
+/// sorted and split into disjoint pieces; where windows overlap the worst
+/// (largest) multiplier wins and the earliest fault id keeps attribution.
+/// Empty when the schedule has no disk degrades. Immutable for the whole
+/// run — worker threads read it without synchronization.
+std::vector<std::vector<DegradeWindow>> build_degrade_windows(
+    const std::vector<ResolvedFault>& faults, int initial_hosts);
+
+/// Completion instant of `work` nanoseconds of disk-bound progress starting
+/// at `start`, with progress slowed to 1/multiplier inside every window:
+/// the completion stretches by (multiplier - 1) x the degraded share of the
+/// work. Windows must be sorted and disjoint (build_degrade_windows
+/// guarantees both). If `fault` is non-null it receives the id of the first
+/// window that actually slowed this span, or -1.
+sim::Nanos degraded_completion(const std::vector<DegradeWindow>& windows,
+                               sim::Nanos start, sim::Nanos work,
+                               int* fault = nullptr);
+
+/// Half-open window [start, end) during which the pair {host, peer} is
+/// unreachable. Stored per host (both directions), so a network op on
+/// `host` whose drawn far end is `peer` stalls until the window closes.
+struct PairWindow {
+  sim::Nanos start = 0;
+  sim::Nanos end = 0;
+  int peer = -1;
+  int fault = -1;
+};
+
+/// Per-host partial-partition windows (indexed by initial-topology host
+/// index), each listing the {peer, window} cuts affecting that host,
+/// sorted by start. Empty when the schedule has no partial partitions.
+/// Immutable for the whole run.
+std::vector<std::vector<PairWindow>> build_pair_windows(
+    const std::vector<ResolvedFault>& faults, int initial_hosts);
+
+/// Completion instant of `work` nanoseconds of NIC-bound progress from
+/// `start` on a host whose drawn far end is `peer`: progress freezes while
+/// any window cutting {host, peer} is open. If `fault` is non-null it
+/// receives the id of the first window that stalled this span, or -1.
+sim::Nanos pair_stalled_completion(const std::vector<PairWindow>& windows,
+                                   int peer, sim::Nanos start,
+                                   sim::Nanos work, int* fault = nullptr);
 
 }  // namespace fleet

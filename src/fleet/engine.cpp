@@ -443,10 +443,18 @@ sim::Nanos FleetEngine::boot_physics(Shard& sh, Tenant& t, const Scenario& s,
   auto total = std::max<sim::Nanos>(
       kBootFloorNs, static_cast<sim::Nanos>(
                         static_cast<double>(boot_ns + image_ns) * factor));
-  // Boots that actually pulled the image wait out any partition window on
-  // this host; a fully cache-resident boot never touches the wire. The
-  // stall only ever adds time, so the kBootFloorNs horizon still holds.
+  // Boots that actually pulled the image run the pull at degraded NVMe
+  // speed inside a disk-degrade window, and wait out any partition window
+  // on this host; a fully cache-resident boot touches neither the device
+  // nor the wire. Stalls only ever add time, so the kBootFloorNs horizon
+  // still holds.
   if (misses > 0) {
+    if (sh.rollup.host < static_cast<int>(degrades_.size())) {
+      total = degraded_completion(
+                  degrades_[static_cast<std::size_t>(sh.rollup.host)],
+                  arrival, total) -
+              arrival;
+    }
     const sim::Nanos stalled = partition_stall(sh.rollup.host, arrival, total);
     if (stalled != total) {
       ++sh.rollup.nic_stalls;
@@ -496,7 +504,8 @@ void FleetEngine::handle_boot_done(Tenant& t, const Scenario& s) {
     // victim drain-migrated between admission and boot counts once.
     const double ms = sim::to_millis(
         t.clock.now() - faults_[static_cast<std::size_t>(t.crash_fault)].time);
-    auto& rv = report_.recovery[static_cast<std::size_t>(t.crash_fault)];
+    auto& rv = report_.recovery[static_cast<std::size_t>(
+        recovery_slot_[static_cast<std::size_t>(t.crash_fault)])];
     rv.replace_ms.add(ms);
     ++rv.readmitted;
     ++report_.crash_readmitted;
@@ -584,14 +593,96 @@ void FleetEngine::start_program_op(Tenant& t, const Scenario& s) {
   note_peaks(sh);
   t.phase_start = t.clock.now();
   // Service time excludes the think gap: the op-latency sample the report
-  // percentiles come from is the modeled syscall, not the idle wait.
-  t.prog_service = program_op_cost(t, op, s);
-  t.clock.advance(t.prog_service + op.think);
+  // percentiles come from is the modeled syscall (plus any retry timeouts
+  // and backoffs), not the idle wait.
+  const OpIssue issue = issue_program_op(t, op, s);
+  t.prog_service = issue.service;
+  note_op_outcome(t.id, issue);
+  t.clock.advance(op.think);
   queue_.push(t.clock.now(), t.id, EventKind::kProgramStep, t.epoch);
 }
 
+FleetEngine::OpIssue FleetEngine::issue_program_op(Tenant& t,
+                                                   const ProgramOp& op,
+                                                   const Scenario& s) {
+  OpIssue issue;
+  const sim::Nanos slo = s.op_slo_ms;
+  const int max_retries = op.max_retries > 0 ? op.max_retries
+                                             : s.op_max_retries;
+  const sim::Nanos backoff_base =
+      op.backoff_base_ms > 0 ? op.backoff_base_ms : s.op_backoff_base_ms;
+  const bool can_retry = degraded_accounting_ && max_retries > 0 && slo > 0;
+
+  OpImpact first{};
+  sim::Nanos cost = program_op_cost(t, op, s, &first);
+  issue.fault = first.fault;
+  // Undisturbed first-attempt cost: the baseline the issue's added-latency
+  // sample is judged against.
+  const sim::Nanos base0 = cost - first.added;
+  sim::Nanos elapsed = 0;
+  while (can_retry && cost > slo && issue.retries < max_retries) {
+    // The attempt blew its budget: abandon it at the deadline, back off
+    // exponentially (jitter from the tenant's own stream so replays are
+    // exact), and re-issue. The re-issue recomputes the full cost — fresh
+    // cache state, fresh contention, and for network ops a fresh peer
+    // draw, which is what routes around a partial partition.
+    const sim::Nanos backoff =
+        (backoff_base << issue.retries) +
+        static_cast<sim::Nanos>(t.rng.next_double() *
+                                static_cast<double>(backoff_base));
+    t.clock.advance(slo + backoff);
+    elapsed += slo + backoff;
+    ++issue.retries;
+    OpImpact again{};
+    cost = program_op_cost(t, op, s, &again);
+    if (issue.fault < 0) {
+      issue.fault = again.fault;
+    }
+  }
+  t.clock.advance(cost);
+  issue.service = elapsed + cost;
+  // A give-up is a *final* attempt still past the budget: the op completes
+  // late instead of failing, but the SLO is gone. With retries disabled
+  // (the no-retry control) every over-budget op is a give-up.
+  if (degraded_accounting_ && slo > 0 && cost > slo) {
+    issue.give_up = true;
+  }
+  if (issue.fault >= 0) {
+    issue.added_ms = sim::to_millis(issue.service - base0);
+  }
+  return issue;
+}
+
+void FleetEngine::note_op_outcome(std::uint64_t tenant_id,
+                                  const OpIssue& issue) {
+  if (!degraded_accounting_) {
+    return;
+  }
+  report_.op_retries += issue.retries;
+  if (issue.give_up) {
+    ++report_.op_give_ups;
+  }
+  if (issue.fault < 0) {
+    return;
+  }
+  const int slot = degraded_slot_[static_cast<std::size_t>(issue.fault)];
+  if (slot < 0) {
+    return;
+  }
+  auto& v = report_.degraded[static_cast<std::size_t>(slot)];
+  degrade_affected_[static_cast<std::size_t>(slot)].insert(tenant_id);
+  v.retries += issue.retries;
+  if (issue.give_up) {
+    ++v.give_ups;
+  }
+  if (issue.added_ms >= 0.0) {
+    v.added_ms.add(issue.added_ms);
+  }
+}
+
 sim::Nanos FleetEngine::program_op_cost(Tenant& t, const ProgramOp& op,
-                                        const Scenario& s) {
+                                        const Scenario& s,
+                                        OpImpact* impact) {
   (void)s;
   Shard& sh = shards_[static_cast<std::size_t>(t.host)];
   // The kernel charge is the first-class part: every op dispatches through
@@ -601,6 +692,10 @@ sim::Nanos FleetEngine::program_op_cost(Tenant& t, const ProgramOp& op,
   const OpClass cls = op_class(op.sc);
   const std::uint64_t payload =
       op.bytes * static_cast<std::uint64_t>(op.repeat);
+  // Ops that actually reached the NVMe this issue; only those stretch
+  // through a disk-degrade window (a cache-served read never notices a
+  // slow device).
+  bool touched_disk = false;
   switch (cls) {
     case OpClass::kFile:
       if (payload > 0 && !op_is_write(op.sc)) {
@@ -612,6 +707,7 @@ sim::Nanos FleetEngine::program_op_cost(Tenant& t, const ProgramOp& op,
         if (misses > 0) {
           cost += sh.host->nvme().read(misses * hostk::PageCache::kPageSize,
                                        t.rng);
+          touched_disk = true;
         }
       }
       // Writes are buffered: they dirty the cache for free and pay the
@@ -621,6 +717,7 @@ sim::Nanos FleetEngine::program_op_cost(Tenant& t, const ProgramOp& op,
       cost += sh.host->nvme().write(
           std::max<std::uint64_t>(payload, hostk::PageCache::kPageSize),
           t.rng);
+      touched_disk = true;
       break;
     case OpClass::kMemory:
       if (payload > 0) {
@@ -632,6 +729,7 @@ sim::Nanos FleetEngine::program_op_cost(Tenant& t, const ProgramOp& op,
         if (misses > 0) {
           cost += sh.host->nvme().read(misses * hostk::PageCache::kPageSize,
                                        t.rng);
+          touched_disk = true;
         }
       }
       break;
@@ -648,6 +746,25 @@ sim::Nanos FleetEngine::program_op_cost(Tenant& t, const ProgramOp& op,
   }
   auto total =
       static_cast<sim::Nanos>(static_cast<double>(cost) * sh.cpu_factor());
+  if (touched_disk &&
+      sh.rollup.host < static_cast<int>(degrades_.size())) {
+    // Disk work progresses at 1/multiplier inside a degrade window: the
+    // completion stretches by exactly the degraded share of the overlap.
+    const sim::Nanos begin = t.clock.now();
+    int dfault = -1;
+    const sim::Nanos done = degraded_completion(
+        degrades_[static_cast<std::size_t>(sh.rollup.host)], begin, total,
+        &dfault);
+    if (done != begin + total) {
+      if (impact) {
+        if (impact->fault < 0) {
+          impact->fault = dfault;
+        }
+        impact->added += done - (begin + total);
+      }
+      total = done - begin;
+    }
+  }
   if (cls == OpClass::kNetwork && payload > 0) {
     // Same rule as statistical network phases: a partition freezes NIC
     // progress and the op stretches by exactly the window overlap.
@@ -656,6 +773,35 @@ sim::Nanos FleetEngine::program_op_cost(Tenant& t, const ProgramOp& op,
     if (stalled != total) {
       ++sh.rollup.nic_stalls;
       total = stalled;
+    }
+    if (!pairs_.empty()) {
+      // Partial partitions cut host *pairs*: draw the far end uniformly
+      // over the initial topology, self included (self = host-local
+      // traffic that never crosses the cut). The op stalls only when the
+      // drawn peer sits across an open cut — so a later re-issue's fresh
+      // draw can route around it.
+      const int n = static_cast<int>(pairs_.size());
+      const int peer = std::min(
+          n - 1, static_cast<int>(t.rng.next_double() *
+                                  static_cast<double>(n)));
+      const int host = sh.rollup.host;
+      if (host < n && peer != host) {
+        const sim::Nanos begin = t.clock.now();
+        int pfault = -1;
+        const sim::Nanos done = pair_stalled_completion(
+            pairs_[static_cast<std::size_t>(host)], peer, begin, total,
+            &pfault);
+        if (done != begin + total) {
+          ++sh.rollup.nic_stalls;
+          if (impact) {
+            if (impact->fault < 0) {
+              impact->fault = pfault;
+            }
+            impact->added += done - (begin + total);
+          }
+          total = done - begin;
+        }
+      }
     }
   }
   return total;
@@ -948,15 +1094,66 @@ void FleetEngine::handle_autoscale_eval(sim::Nanos now, const Scenario& s) {
 
 void FleetEngine::handle_fault(const Event& e, const Scenario& s) {
   const ResolvedFault& f = faults_[e.tenant];
+  if (e.kind == EventKind::kDegradeStart) {
+    // KSM unmerge storm (kMemPressure is the only kind that queues these):
+    // every merged page on the target hosts re-expands to its backing copy
+    // at this instant, and the stable tree re-merges only at the window-end
+    // scan — or early, by a hypervisor admission's scan pass. The resident
+    // spike is real RAM pressure: it can trip admission and the autoscale
+    // watermark, which is exactly the degraded-mode story.
+    const int slot = degraded_slot_[static_cast<std::size_t>(f.id)];
+    auto& dv = report_.degraded[static_cast<std::size_t>(slot)];
+    for (const int h : f.hosts) {
+      Shard& sh = shards_[static_cast<std::size_t>(h)];
+      if (!sh.live) {
+        continue;
+      }
+      const FleetDelta before = fleet_before(sh);
+      const std::uint64_t pages = sh.ksm.unmerge();
+      fleet_apply(sh, before);
+      dv.resident_spike_bytes += pages * kFleetPageBytes;
+      note_peaks(sh);
+      publish_host(sh);
+    }
+    for (const Tenant& t : tenants_) {
+      if (!t.holds_resources || !t.ksm_registered) {
+        continue;
+      }
+      for (const int h : f.hosts) {
+        if (t.host == h) {
+          degrade_affected_[static_cast<std::size_t>(slot)].insert(t.id);
+          break;
+        }
+      }
+    }
+    return;
+  }
+  if (e.kind == EventKind::kDegradeEnd) {
+    // Window closes: one scan pass re-merges whatever survived on the
+    // stable tree. Merging only shrinks resident, but the barrier (and the
+    // republish) keeps placement pressure honest at every thread count.
+    for (const int h : f.hosts) {
+      Shard& sh = shards_[static_cast<std::size_t>(h)];
+      if (!sh.live) {
+        continue;
+      }
+      const FleetDelta before = fleet_before(sh);
+      sh.ksm.scan();
+      fleet_apply(sh, before);
+      publish_host(sh);
+    }
+    return;
+  }
   if (e.kind == EventKind::kPartitionEnd) {
     // Heal instant. The stall itself is precomputed from the immutable
     // window list; this event exists as a parallel-loop barrier (NIC
     // behavior changes across it) and to keep the queue's timeline honest.
     return;
   }
-  // Every fault pushes exactly one verdict at its start event, and faults
-  // are queued in id (= time) order, so report_.recovery[f.id] is this
-  // fault's verdict for all later bookkeeping.
+  // Every crash-family fault pushes exactly one verdict at its start
+  // event; recovery_slot_ maps the fault id to that verdict for all later
+  // bookkeeping (degrade-family faults own DegradeVerdicts instead, so
+  // recovery is not indexable by fault id).
   FleetReport::RecoveryVerdict v;
   v.fault = f.id;
   v.rack = f.rack;
@@ -969,6 +1166,8 @@ void FleetEngine::handle_fault(const Event& e, const Scenario& s) {
         v.hosts.push_back(h);
       }
     }
+    recovery_slot_[static_cast<std::size_t>(f.id)] =
+        static_cast<int>(report_.recovery.size());
     report_.recovery.push_back(std::move(v));
     return;
   }
@@ -989,6 +1188,9 @@ void FleetEngine::handle_fault(const Event& e, const Scenario& s) {
     crash_shard(h, f, e.time, frng, v);
   }
   report_.crash_victims += v.victims;
+  report_.boots_lost += v.boots_lost;
+  recovery_slot_[static_cast<std::size_t>(f.id)] =
+      static_cast<int>(report_.recovery.size());
   report_.recovery.push_back(std::move(v));
 }
 
@@ -1012,6 +1214,12 @@ void FleetEngine::crash_shard(int index, const ResolvedFault& f,
   for (Tenant& t : tenants_) {
     if (t.host != index || !t.holds_resources) {
       continue;
+    }
+    if (t.in_flight == Tenant::InFlight::kBoot) {
+      // Crash-during-boot: the partial boot dies with the host. Nothing
+      // carries over — the re-arrival faces admission again and starts a
+      // fresh boot against a cold image cache.
+      ++v.boots_lost;
     }
     t.in_flight = Tenant::InFlight::kNone;
     t.ksm_registered = false;  // its tree registration dies with the host
@@ -1067,11 +1275,13 @@ void FleetEngine::note_crash_loss(Tenant& t) {
   if (t.crash_fault < 0) {
     return;
   }
-  ++report_.recovery[static_cast<std::size_t>(t.crash_fault)].lost;
+  const int slot = recovery_slot_[static_cast<std::size_t>(t.crash_fault)];
+  ++report_.recovery[static_cast<std::size_t>(slot)].lost;
   ++report_.crash_lost;
-  // Stamp the outcome so an outer router (fleet::Federation) can identify
-  // which fault stranded this tenant and re-route it to another cell.
-  t.outcome.lost_to_fault = t.crash_fault;
+  // Stamp the outcome (as the *verdict index*, what an outer reader can
+  // actually look up) so a router (fleet::Federation) can identify which
+  // fault stranded this tenant and re-route it to another cell.
+  t.outcome.lost_to_fault = slot;
   t.crash_fault = -1;  // recovery resolved: permanently lost
 }
 
@@ -1178,7 +1388,9 @@ void FleetEngine::process_event(const Event& e, const Scenario& s,
     return;
   }
   if (e.kind == EventKind::kHostCrash || e.kind == EventKind::kPartitionStart ||
-      e.kind == EventKind::kPartitionEnd) {
+      e.kind == EventKind::kPartitionEnd ||
+      e.kind == EventKind::kDegradeStart ||
+      e.kind == EventKind::kDegradeEnd) {
     handle_fault(e, s);
     return;
   }
@@ -1211,6 +1423,8 @@ void FleetEngine::process_event(const Event& e, const Scenario& s,
     case EventKind::kHostCrash:
     case EventKind::kPartitionStart:
     case EventKind::kPartitionEnd:
+    case EventKind::kDegradeStart:
+    case EventKind::kDegradeEnd:
       break;  // handled above
   }
   if (incremental_placement_) {
@@ -1273,6 +1487,20 @@ FleetReport FleetEngine::run(const Scenario& s) {
     throw std::invalid_argument(
         "FleetEngine::run: phases_per_tenant must be positive");
   }
+  if (s.op_max_retries < 0) {
+    throw std::invalid_argument(
+        "FleetEngine::run: op_max_retries must be non-negative");
+  }
+  if (s.op_max_retries > 0 && s.op_backoff_base_ms <= 0) {
+    throw std::invalid_argument(
+        "FleetEngine::run: op_max_retries needs a positive op_backoff_base_ms");
+  }
+  if (s.op_max_retries > 0 && s.op_slo_ms <= 0) {
+    // Retries time out at the op SLO; without a budget there is nothing to
+    // retry against and the knob would silently do nothing.
+    throw std::invalid_argument(
+        "FleetEngine::run: op_max_retries needs a positive op_slo_ms");
+  }
   for (const ProgramShare& share : s.program_mix) {
     if (share.weight <= 0.0) {
       throw std::invalid_argument(
@@ -1282,6 +1510,29 @@ FleetReport FleetEngine::run(const Scenario& s) {
       throw std::invalid_argument(
           "FleetEngine::run: program_mix references an unknown program (use "
           "-1 for the statistical share)");
+    }
+    if (share.program >= 0) {
+      // Per-op retry knobs are validated only for reachable programs: the
+      // builtin table is static, but the knobs compose with scenario-wide
+      // defaults, so what is malformed depends on this scenario.
+      for (const ProgramOp& op : builtin_program(share.program).ops) {
+        if (op.max_retries < 0) {
+          throw std::invalid_argument(
+              "FleetEngine::run: program op max_retries must be "
+              "non-negative");
+        }
+        if (op.max_retries > 0 && op.backoff_base_ms <= 0 &&
+            s.op_backoff_base_ms <= 0) {
+          throw std::invalid_argument(
+              "FleetEngine::run: program op max_retries needs a positive "
+              "backoff_base_ms (op-level or scenario-wide)");
+        }
+        if (op.max_retries > 0 && s.op_slo_ms <= 0) {
+          throw std::invalid_argument(
+              "FleetEngine::run: program op max_retries needs a positive "
+              "op_slo_ms");
+        }
+      }
     }
   }
   if (shards_.size() > 1 && policy_ == nullptr) {
@@ -1309,6 +1560,8 @@ FleetReport FleetEngine::run(const Scenario& s) {
   faults_ = resolve_faults(s, static_cast<int>(shards_.size()));
   partitions_ =
       build_partition_windows(faults_, static_cast<int>(shards_.size()));
+  degrades_ = build_degrade_windows(faults_, static_cast<int>(shards_.size()));
+  pairs_ = build_pair_windows(faults_, static_cast<int>(shards_.size()));
   queue_ = EventQueue{};
   report_ = FleetReport{};
   report_.scenario = s.name;
@@ -1323,6 +1576,48 @@ FleetReport FleetEngine::run(const Scenario& s) {
   report_.boot_slo_ms = s.boot_slo_ms;
   report_.replace_slo_ms = s.replace_slo_ms;
   report_.op_slo_ms = s.op_slo_ms;
+  // Degraded-mode setup. Verdicts for degrade-family faults are created up
+  // front in fault-id order: disk and pair degrades queue no events at all
+  // (their windows are precomputed), so ops can be disturbed before any
+  // event for the fault would have popped. Accounting is live only when a
+  // degrade fault is scheduled or retries are enabled — otherwise no
+  // counter moves and no extra RNG draw happens, keeping every pre-existing
+  // scenario byte-identical.
+  recovery_slot_.assign(faults_.size(), -1);
+  degraded_slot_.assign(faults_.size(), -1);
+  degrade_affected_.clear();
+  degraded_accounting_ = s.op_max_retries > 0;
+  for (const ProgramShare& share : s.program_mix) {
+    if (share.program < 0) {
+      continue;
+    }
+    for (const ProgramOp& op : builtin_program(share.program).ops) {
+      if (op.max_retries > 0) {
+        degraded_accounting_ = true;
+      }
+    }
+  }
+  for (const ResolvedFault& f : faults_) {
+    if (!is_degrade_kind(f.kind)) {
+      continue;
+    }
+    degraded_accounting_ = true;
+    degraded_slot_[static_cast<std::size_t>(f.id)] =
+        static_cast<int>(report_.degraded.size());
+    FleetReport::DegradeVerdict dv;
+    dv.fault = f.id;
+    dv.kind = f.kind == Fault::Kind::kDiskDegrade    ? "disk-degrade"
+              : f.kind == Fault::Kind::kMemPressure  ? "mem-pressure"
+                                                     : "partial-partition";
+    dv.rack = f.rack;
+    dv.time = f.time;
+    dv.duration = f.duration;
+    dv.hosts = f.hosts;
+    dv.peer = f.peer;
+    dv.multiplier = f.kind == Fault::Kind::kDiskDegrade ? f.degrade : 0.0;
+    report_.degraded.push_back(std::move(dv));
+    degrade_affected_.emplace_back();
+  }
   tenants_.clear();
   global_clock_.reset();
   active_ = 0;
@@ -1428,6 +1723,16 @@ FleetReport FleetEngine::run(const Scenario& s) {
     if (f.kind == Fault::Kind::kPartition) {
       queue_.push(f.time, id, EventKind::kPartitionStart);
       queue_.push(f.time + f.duration, id, EventKind::kPartitionEnd);
+    } else if (f.kind == Fault::Kind::kMemPressure) {
+      // The only degrade kind that mutates shard state (the KSM unmerge
+      // storm and its re-merge), so the only one that needs events; disk
+      // degrades and partial partitions act purely through the immutable
+      // precomputed windows.
+      queue_.push(f.time, id, EventKind::kDegradeStart);
+      queue_.push(f.time + f.duration, id, EventKind::kDegradeEnd);
+    } else if (f.kind == Fault::Kind::kDiskDegrade ||
+               f.kind == Fault::Kind::kPartialPartition) {
+      // No events: the windows are already in degrades_/pairs_.
     } else {
       // kCrash and kCellOutage both ride the crash event; the resolved
       // fault's host list (one host vs. the whole topology) is the split.
@@ -1491,6 +1796,10 @@ FleetReport FleetEngine::run(const Scenario& s) {
   report_.tenants.reserve(tenants_.size());
   for (const Tenant& t : tenants_) {
     report_.tenants.push_back(t.outcome);
+  }
+  for (std::size_t i = 0; i < report_.degraded.size(); ++i) {
+    report_.degraded[i].affected =
+        static_cast<int>(degrade_affected_[i].size());
   }
   return report_;
 }

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -206,12 +207,47 @@ class FleetEngine {
   /// sample into the per-program rollup, and advance the interpreter
   /// cursor (next op, next loop, or the teardown path).
   void handle_program_step(Tenant& t, const Scenario& s);
+
+  /// How a degrade-family fault disturbed one op issue, reported by
+  /// program_op_cost for DegradeVerdict attribution.
+  struct OpImpact {
+    int fault = -1;        // first disturbing fault id; -1 = undisturbed
+    sim::Nanos added = 0;  // completion delay vs the undisturbed cost
+  };
+
   /// Virtual duration of one program op: HostKernel::invoke (CPU cost +
   /// ftrace hits) plus payload physics on the shard's page cache / NVMe /
   /// NIC, stretched by CPU contention; network ops wait out partition
-  /// windows by exact overlap. Shard-local, so window workers may call it.
+  /// windows by exact overlap, disk-touching ops stretch through degrade
+  /// windows, and network ops draw a peer that may sit across a partial
+  /// partition. Shard-local, so window workers may call it. `impact`
+  /// (optional) receives the degrade attribution.
   sim::Nanos program_op_cost(Tenant& t, const ProgramOp& op,
-                             const Scenario& s);
+                             const Scenario& s, OpImpact* impact = nullptr);
+
+  /// Outcome of one op *issue* (the retry loop around program_op_cost):
+  /// how many re-issues it took, whether it still blew the SLO with
+  /// retries exhausted, and which fault gets the ledger entry. Computed
+  /// identically on the sequential path and window workers.
+  struct OpIssue {
+    sim::Nanos service = 0;  // total issue latency: timeouts+backoffs+final
+    int fault = -1;          // degrade fault attributed (first disturber)
+    int retries = 0;
+    bool give_up = false;
+    double added_ms = -1.0;  // < 0: no added-latency sample
+  };
+
+  /// Run the retry/backoff loop for the op at t.prog_op: compute the cost,
+  /// and while it would blow the op SLO with retries left, time out at the
+  /// budget, back off exponentially (jitter from t.rng) and re-issue.
+  /// Advances t.clock through the whole issue (timeouts, backoffs, and the
+  /// final attempt); the caller adds only the op's think gap.
+  OpIssue issue_program_op(Tenant& t, const ProgramOp& op, const Scenario& s);
+
+  /// Fold one issue's outcome into the fleet totals and its fault's
+  /// DegradeVerdict. Coordinator-only: the sequential path calls it from
+  /// start_program_op, the parallel path from replay_record.
+  void note_op_outcome(std::uint64_t tenant_id, const OpIssue& issue);
 
   /// Admission control against the tenant's shard: would its resident set
   /// still fit? Read-only on rejection — KSM fit is decided by
@@ -342,6 +378,27 @@ class FleetEngine {
   /// Per-host partition windows (initial-topology indices only; hosts
   /// added mid-run are never partition targets).
   std::vector<std::vector<PartitionWindow>> partitions_;
+  /// Per-host disk-degrade and partial-partition windows (chaos.h), built
+  /// next to partitions_ and equally immutable — worker threads read them
+  /// without synchronization. Both empty when no fault of that kind is
+  /// scheduled, so fault-free runs pay (and draw) nothing.
+  std::vector<std::vector<DegradeWindow>> degrades_;
+  std::vector<std::vector<PairWindow>> pairs_;
+  /// Fault id -> index into report_.recovery (crash kinds) or
+  /// report_.degraded (degrade kinds); -1 for the other family. Neither
+  /// verdict vector is indexable by fault id once the families interleave
+  /// in one schedule.
+  std::vector<int> recovery_slot_;
+  std::vector<int> degraded_slot_;
+  /// Degraded accounting is live for this run: a degrade-family fault is
+  /// scheduled, or retries are enabled scenario-wide or on any reachable
+  /// program op. Gates every retry/give-up counter and the extra RNG draws
+  /// behind them, so pre-existing scenarios stay byte-identical.
+  bool degraded_accounting_ = false;
+  /// Distinct tenants disturbed per degraded verdict (coordinator-only;
+  /// parallel runs insert during replay). Finalized into
+  /// DegradeVerdict::affected at run end.
+  std::vector<std::set<std::uint64_t>> degrade_affected_;
   /// Live shard count, maintained at add/drain/crash so the per-arrival
   /// zero-live-hosts check is O(1) instead of an O(M) scan.
   int live_hosts_ = 0;
@@ -422,6 +479,12 @@ class FleetEngine {
     /// fault whose replace_ms gets `recovery_ms` during replay (-1: none).
     int recovery_fault = -1;
     double recovery_ms = 0.0;
+    /// kProgramStep retry ledger: the OpIssue outcome of the *next* op the
+    /// worker started, folded in by note_op_outcome during replay.
+    int op_retries = 0;
+    bool op_give_up = false;
+    int degrade_fault = -1;        // first disturbing fault id; -1 = none
+    double degrade_added_ms = -1.0;  // < 0: no added-latency sample
   };
 
   /// Per-shard window state, storage reused across windows.

@@ -79,11 +79,13 @@ constexpr std::size_t kMinParallelWindow = 64;
 
 bool is_coordinator_kind(EventKind k) {
   // Fault events are barriers too: a crash rewrites foreign tenants' state
-  // and the topology, and a partition boundary changes NIC behavior on
-  // either side of it.
+  // and the topology, a partition boundary changes NIC behavior on either
+  // side of it, and a degrade boundary mutates KSM state (the unmerge
+  // storm / re-merge scan) that admissions read.
   return k == EventKind::kArrival || k == EventKind::kHostEvent ||
          k == EventKind::kAutoscaleEval || k == EventKind::kHostCrash ||
-         k == EventKind::kPartitionStart || k == EventKind::kPartitionEnd;
+         k == EventKind::kPartitionStart || k == EventKind::kPartitionEnd ||
+         k == EventKind::kDegradeStart || k == EventKind::kDegradeEnd;
 }
 
 }  // namespace
@@ -374,6 +376,8 @@ void FleetEngine::run_loop_parallel(const Scenario& s,
       case EventKind::kHostCrash:
       case EventKind::kPartitionStart:
       case EventKind::kPartitionEnd:
+      case EventKind::kDegradeStart:
+      case EventKind::kDegradeEnd:
         // Topology may change here: add_shard can reallocate shards_, and a
         // drain or crash rewrites foreign tenants' state, either of which
         // would race in-flight lane work. Wait out every boot first; the
@@ -522,8 +526,16 @@ void FleetEngine::worker_start_program_op(ShardTask& task, WorkerRecord& r,
       task.max_cpu_ratio,
       sh.cpu_demand / static_cast<double>(sh.host->spec().cpu_threads));
   t.phase_start = t.clock.now();
-  t.prog_service = program_op_cost(t, op, s);
-  t.clock.advance(t.prog_service + op.think);
+  // Same retry loop as the sequential path (shard-local state plus the
+  // immutable window lists only); the fleet-side outcome accounting rides
+  // the record and is folded in by note_op_outcome during replay.
+  const OpIssue issue = issue_program_op(t, op, s);
+  t.prog_service = issue.service;
+  r.op_retries = issue.retries;
+  r.op_give_up = issue.give_up;
+  r.degrade_fault = issue.fault;
+  r.degrade_added_ms = issue.added_ms;
+  t.clock.advance(op.think);
   r.gen = true;
   r.gen_kind = EventKind::kProgramStep;
   r.gen_time = t.clock.now();
@@ -675,6 +687,8 @@ void FleetEngine::window_step(ShardTask& task, const Event& e,
     case EventKind::kHostCrash:
     case EventKind::kPartitionStart:
     case EventKind::kPartitionEnd:
+    case EventKind::kDegradeStart:
+    case EventKind::kDegradeEnd:
       break;  // never extracted into a window
   }
   if (r.gen && r.gen_kind != EventKind::kArrival && birth_in_window(r.gen_time)) {
@@ -726,8 +740,8 @@ void FleetEngine::replay_record(ShardTask& task, const WorkerRecord& r,
           }
         }
         if (r.recovery_fault >= 0) {
-          auto& rv =
-              report_.recovery[static_cast<std::size_t>(r.recovery_fault)];
+          auto& rv = report_.recovery[static_cast<std::size_t>(
+              recovery_slot_[static_cast<std::size_t>(r.recovery_fault)])];
           rv.replace_ms.add(r.recovery_ms);
           ++rv.readmitted;
           ++report_.crash_readmitted;
@@ -757,6 +771,17 @@ void FleetEngine::replay_record(ShardTask& task, const WorkerRecord& r,
         break;
       default:
         break;  // kBootPhys has no global side
+    }
+    if (r.op_retries > 0 || r.op_give_up || r.degrade_fault >= 0) {
+      // The worker started this tenant's next op inside the window; fold
+      // its issue outcome into the fleet/verdict ledgers here, in merged
+      // order — exactly where the sequential start_program_op would have.
+      OpIssue issue;
+      issue.retries = r.op_retries;
+      issue.give_up = r.op_give_up;
+      issue.fault = r.degrade_fault;
+      issue.added_ms = r.degrade_added_ms;
+      note_op_outcome(r.tenant, issue);
     }
   }
   if (r.gen) {

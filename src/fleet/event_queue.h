@@ -39,6 +39,11 @@ enum class EventKind {
                    //   indexes the run's resolved fault schedule (chaos.h)
   kPartitionStart,  // network partition opens on the fault's hosts
   kPartitionEnd,    // ...and heals; barrier marker, stall is precomputed
+  kDegradeStart,    // degrade-family fault opens (disk degrade, memory
+                    //   pressure, partial partition); tenant field indexes
+                    //   the resolved fault schedule like kHostCrash
+  kDegradeEnd,      // ...and ends; memory pressure re-merges (KSM scan)
+                    //   here — disk/pair stretch is precomputed per window
 };
 
 struct Event {

@@ -110,6 +110,11 @@ std::string FleetReport::to_text() const {
         out += ": " + std::to_string(v.victims) + " victims, " +
                std::to_string(v.readmitted) + " re-admitted, " +
                std::to_string(v.lost) + " lost";
+        // Rendered only when a crash actually caught a boot in flight, so
+        // crash goldens without mid-boot victims keep their bytes.
+        if (v.boots_lost > 0) {
+          out += ", " + std::to_string(v.boots_lost) + " partial boots lost";
+        }
         if (!v.replace_ms.empty()) {
           out += "; re-place p50 " + fmt("%.2f", v.replace_ms.percentile(50)) +
                  " ms, p99 " + fmt("%.2f", v.replace_ms.percentile(99)) +
@@ -133,6 +138,45 @@ std::string FleetReport::to_text() const {
       out += "recovery SLO: p99 time-to-re-place within " +
              fmt("%.2f", sim::to_millis(replace_slo_ms)) + " ms, no loss -> " +
              (recovery_slo_pass() ? "PASS" : "FAIL") + "\n";
+    }
+  }
+  // Degraded-mode section: rendered only when degrade-family faults fired
+  // or the retry engine counted anything, so every historical golden stays
+  // byte-identical.
+  if (!degraded.empty() || op_retries > 0 || op_give_ups > 0) {
+    out += "degraded: " + std::to_string(degraded.size()) + " faults; " +
+           std::to_string(op_retries) + " op retries, " +
+           std::to_string(op_give_ups) + " give-ups\n";
+    for (const DegradeVerdict& v : degraded) {
+      out += "  t=" + fmt("%.2f", sim::to_millis(v.time)) + " ms  " + v.kind;
+      if (!v.rack.empty()) {
+        out += " rack " + v.rack;
+      }
+      out += " host(s)";
+      for (const int h : v.hosts) {
+        out += " " + std::to_string(h);
+      }
+      if (v.kind == "partial-partition") {
+        out += " <-> " + std::to_string(v.peer);
+      }
+      if (v.kind == "disk-degrade") {
+        out += " x" + fmt("%.1f", v.multiplier);
+      }
+      out += " for " + fmt("%.2f", sim::to_millis(v.duration)) + " ms: " +
+             std::to_string(v.affected) + " tenants affected, " +
+             std::to_string(v.retries) + " retries, " +
+             std::to_string(v.give_ups) + " give-ups";
+      if (v.kind == "mem-pressure") {
+        out += ", resident spike " +
+               fmt("%.1f", static_cast<double>(v.resident_spike_bytes) /
+                               (1ull << 20)) +
+               " MiB";
+      }
+      if (!v.added_ms.empty()) {
+        out += "; added latency p50 " + fmt("%.3f", v.added_ms.percentile(50)) +
+               " ms, p99 " + fmt("%.3f", v.added_ms.percentile(99)) + " ms";
+      }
+      out += "\n";
     }
   }
   // Syscall-program section: rendered only for runs with a program mix, so

@@ -35,10 +35,12 @@ struct TenantOutcome {
   sim::Nanos completion = 0;    // teardown finished
   int phases_run = 0;
   int rounds_completed = 0;  // teardowns reached (1 + churn rounds completed)
-  /// Fault id (index into FleetReport::recovery) that permanently stranded
-  /// this tenant — it was crashed off its host and then rejected on
-  /// re-arrival; -1 for everyone else. A federation router uses this to
-  /// re-route cell-outage victims to another cell.
+  /// Index into FleetReport::recovery of the verdict whose fault
+  /// permanently stranded this tenant — it was crashed off its host and
+  /// then rejected on re-arrival; -1 for everyone else. A federation
+  /// router uses this to re-route cell-outage victims to another cell.
+  /// (A verdict index, not a fault id: degrade-family faults interleave
+  /// ids without pushing recovery verdicts.)
   std::int32_t lost_to_fault = -1;
   bool admitted = false;
   bool completed = false;
@@ -214,6 +216,11 @@ class FleetReport {
     int victims = 0;            // tenants killed mid-flight
     int readmitted = 0;         // victims re-admitted on a survivor
     int lost = 0;               // victims rejected on re-arrival
+    /// Victims the crash caught *mid-boot*: their partial boot work is
+    /// lost wholesale and the re-arrival starts a fresh boot from zero
+    /// (a subset of `victims`). Rendered only when non-zero, keeping
+    /// crash goldens without in-flight boots byte-identical.
+    int boots_lost = 0;
     stats::SampleSet replace_ms;  // crash instant -> re-boot served
 
     /// Recovery-SLO verdict against a declared p99 time-to-re-place
@@ -236,10 +243,47 @@ class FleetReport {
   int crash_victims = 0;
   int crash_readmitted = 0;
   int crash_lost = 0;
+  /// Crash victims caught mid-boot (partial boot lost), fleet-wide.
+  int boots_lost = 0;
   /// Time-to-re-place over every crash victim that booted again.
   stats::SampleSet replace_ms;
   /// NIC-bound completions stretched by a partition, fleet-wide.
   int nic_stalls = 0;
+
+  /// Outcome of one degrade-family fault (chaos.h kDiskDegrade /
+  /// kMemPressure / kPartialPartition): the graceful-degradation ledger.
+  /// Empty for runs without degrade faults, which keeps every pinned
+  /// golden byte-identical.
+  struct DegradeVerdict {
+    int fault = 0;
+    std::string kind;  // "disk-degrade" / "mem-pressure" / "partial-partition"
+    std::string rack;  // correlated-fault label; empty for single-host
+    sim::Nanos time = 0;
+    sim::Nanos duration = 0;
+    std::vector<int> hosts;  // live hosts the fault actually hit
+    int peer = -1;           // partial-partition far end
+    double multiplier = 0.0; // disk-degrade NVMe throughput divisor
+    /// Memory pressure: bytes the KSM unmerge storm re-expanded at the
+    /// fault instant (resident jumps by exactly this much).
+    std::uint64_t resident_spike_bytes = 0;
+    /// Distinct tenants that felt this fault: an op stretched or stalled
+    /// by its window (disk degrade / partial partition), or resident on an
+    /// unmerged host (mem pressure).
+    int affected = 0;
+    int retries = 0;   // op re-issues this fault's windows caused
+    int give_ups = 0;  // ops that still blew the SLO with retries exhausted
+    /// Added latency per affected op issue: stretched/stalled completion
+    /// minus the undisturbed completion, in ms.
+    stats::SampleSet added_ms;
+  };
+  std::vector<DegradeVerdict> degraded;
+
+  /// Fleet totals across every program op issue, counted only while
+  /// degraded accounting is active (degrade faults present or retry knobs
+  /// set): op re-issues after an SLO timeout, and ops that completed past
+  /// the SLO with no retries left.
+  int op_retries = 0;
+  int op_give_ups = 0;
 
   /// Fraction of crash victims that made it back through admission.
   double readmission_fraction() const {

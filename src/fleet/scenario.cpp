@@ -307,6 +307,57 @@ Scenario Scenario::program_storm(int tenants, int hosts) {
   return s;
 }
 
+Scenario Scenario::degrade_storm(int tenants, int hosts) {
+  Scenario s = program_storm(tenants, hosts);
+  s.name = "degrade-storm";
+  // RAM-tight enough that the mem-pressure resident spike and the crash
+  // victims' re-admission surge actually contend for headroom — that is
+  // what makes the no-retry control lose tenants.
+  const std::uint64_t per_tenant = s.guest_ram_bytes / 2 + s.image_bytes;
+  s.cluster.ram_bytes = per_tenant * static_cast<std::uint64_t>(tenants) * 3 /
+                        static_cast<std::uint64_t>(4 * std::max(1, hosts));
+  // The degrade family, timed to overlap the *program* phase (boots run
+  // roughly to the 150 ms mark; interpreted ops from there to the tail).
+  // Requires hosts >= 2 (the partial partition needs a pair).
+  Fault disk;
+  disk.kind = Fault::Kind::kDiskDegrade;
+  disk.time = sim::millis(150);
+  disk.host = 0;
+  disk.duration = sim::millis(200);
+  disk.degrade = 6.0;
+  s.faults.timed.push_back(disk);
+  Fault mem;
+  mem.kind = Fault::Kind::kMemPressure;
+  mem.time = sim::millis(200);
+  mem.host = 1;
+  mem.duration = sim::millis(100);
+  s.faults.timed.push_back(mem);
+  Fault pair;
+  pair.kind = Fault::Kind::kPartialPartition;
+  pair.time = sim::millis(150);
+  pair.host = 0;
+  pair.peer = 1;
+  pair.duration = sim::millis(200);
+  s.faults.timed.push_back(pair);
+  // A mid-pressure crash on top, on the host the degrades spared: its
+  // victims must re-admit onto hosts 0/1, and whether they fit depends on
+  // how much RAM the degraded ops there have already released — the retry
+  // run routes around the cut, tears tenants down sooner and loses fewer.
+  Fault crash;
+  crash.kind = Fault::Kind::kCrash;
+  crash.time = sim::millis(250);
+  crash.host = 2;
+  crash.restart_delay = sim::millis(25);
+  crash.restart_jitter = sim::millis(50);
+  s.faults.timed.push_back(crash);
+  // Retry/backoff on: ops that would blow the 12 ms budget time out and
+  // re-issue (network ops redraw their peer, routing around the partial
+  // partition) instead of completing late.
+  s.op_max_retries = 3;
+  s.op_backoff_base_ms = sim::millis(1);
+  return s;
+}
+
 Scenario Scenario::churn_mix(int tenants, int rounds) {
   Scenario s = steady_state_mix(tenants);
   s.name = "churn-mix";

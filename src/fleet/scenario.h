@@ -212,6 +212,17 @@ struct TrafficSpec {
   /// NOTE: typed sim::Nanos like every duration here — assign via
   /// sim::millis(...), not a bare number.
   sim::Nanos op_slo_ms = 0;
+  /// Fleet-wide per-op retry budget for syscall programs: an op issue whose
+  /// service would blow op_slo_ms times out at the budget, backs off
+  /// exponentially (op_backoff_base_ms * 2^(n-1) plus uniform jitter from
+  /// the tenant RNG) and re-issues, up to this many times; a late
+  /// completion with retries exhausted counts as a give-up. Per-op
+  /// ProgramOp::max_retries overrides this when set. 0 = complete late
+  /// (binary-failure behavior, byte-identical to the historical engine).
+  int op_max_retries = 0;
+  /// Base backoff between re-issues (sim::Nanos; see op_slo_ms note). Must
+  /// be positive whenever op_max_retries > 0.
+  sim::Nanos op_backoff_base_ms = 0;
 
   // --- Churn (long-horizon runs) ------------------------------------------
   /// Times each tenant re-enters the fleet after teardown: its resources
@@ -325,6 +336,15 @@ struct Scenario : TrafficSpec, CellSpec {
   /// mmap-analytics) over the host kernel, with a statistical control
   /// share riding along and a per-op latency SLO declared.
   static Scenario program_storm(int tenants, int hosts);
+
+  /// Headline graceful-degradation scenario: the program storm with the
+  /// degrade-family faults layered on — a disk-degrade window on host 0, a
+  /// memory-pressure unmerge storm on host 1, a partial partition cutting
+  /// the {0, 1} pair, and a late crash on a RAM-tight fleet — with per-op
+  /// retry/backoff enabled. The no-retry control (op_max_retries = 0, same
+  /// fault schedule) shows strictly more SLO give-ups and lost tenants:
+  /// degradation handled gracefully instead of failing wholesale.
+  static Scenario degrade_storm(int tenants, int hosts);
 };
 
 }  // namespace fleet

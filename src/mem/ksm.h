@@ -72,6 +72,19 @@ class Ksm {
   /// Returns the number of pages newly merged in this pass.
   std::uint64_t scan();
 
+  /// Unmerge storm (memory-pressure fault): every merged page re-expands
+  /// to its own backing copy, as if the kernel broke COW on the whole
+  /// stable tree at once. The tree itself is kept — the next scan()
+  /// re-merges in one pass. Returns the number of pages re-expanded
+  /// (backing_pages jumps by exactly this much).
+  std::uint64_t unmerge() {
+    if (!scanned_) {
+      return 0;
+    }
+    scanned_ = false;
+    return advised_ - distinct_;
+  }
+
   /// Total pages advised across VMs.
   std::uint64_t advised_pages() const { return advised_; }
 
